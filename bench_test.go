@@ -1,0 +1,262 @@
+// Package crnet_test holds the repository-level benchmark harness: one
+// testing.B benchmark per reproduced table/figure (see DESIGN.md's
+// experiment index). Each benchmark executes the same experiment driver
+// as `crbench -exp <id>` at a benchmark-sized scale and reports the
+// experiment's headline quantity as a custom metric, so regressions in
+// either performance or *results* are visible from `go test -bench=.`.
+//
+// The printable paper-style tables come from:
+//
+//	go run ./cmd/crbench -exp all -scale full
+package crnet_test
+
+import (
+	"strconv"
+	"testing"
+
+	"crnet/internal/sim"
+)
+
+// benchScale keeps the full `go test -bench=.` run to a few minutes: an
+// 8x8 torus with shortened windows and three load points. Shapes match
+// the paper-scale runs; absolute values are noisier.
+var benchScale = sim.Scale{
+	K:       8,
+	MsgLen:  16,
+	Warmup:  800,
+	Measure: 3000,
+	Loads:   []float64{0.2, 0.5, 0.8},
+	Seed:    1,
+}
+
+// runExperiment executes the driver once per iteration and returns the
+// last table for metric extraction.
+func runExperiment(b *testing.B, id string) [][]string {
+	b.Helper()
+	e, ok := sim.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var rows [][]string
+	for i := 0; i < b.N; i++ {
+		tbl := e.Run(benchScale)
+		rows = rows[:0]
+		for r := 0; r < tbl.NumRows(); r++ {
+			rows = append(rows, tbl.Row(r))
+		}
+	}
+	if len(rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	return rows
+}
+
+// cell parses a table cell as float, failing the benchmark otherwise.
+func cell(b *testing.B, rows [][]string, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, rows[row][col], err)
+	}
+	return v
+}
+
+// maxInColumn returns the column's maximum over rows whose first column
+// equals scheme ("" matches all rows).
+func maxInColumn(b *testing.B, rows [][]string, scheme string, col int) float64 {
+	b.Helper()
+	best, found := 0.0, false
+	for i := range rows {
+		if scheme != "" && rows[i][0] != scheme {
+			continue
+		}
+		if v := cell(b, rows, i, col); !found || v > best {
+			best, found = v, true
+		}
+	}
+	if !found {
+		b.Fatalf("no rows for scheme %q", scheme)
+	}
+	return best
+}
+
+func BenchmarkE1LatencyVsLoad(b *testing.B) {
+	rows := runExperiment(b, "E1")
+	b.ReportMetric(maxInColumn(b, rows, "CR", 2), "peak_thpt")
+	b.ReportMetric(cell(b, rows, 0, 3), "lowload_latency")
+}
+
+func BenchmarkE2KillRate(b *testing.B) {
+	rows := runExperiment(b, "E2")
+	b.ReportMetric(cell(b, rows, 0, 1), "kills/msg@low")
+	b.ReportMetric(cell(b, rows, len(rows)-1, 1), "kills/msg@high")
+}
+
+func BenchmarkE3RetransmissionGap(b *testing.B) {
+	rows := runExperiment(b, "E3")
+	b.ReportMetric(maxInColumn(b, rows, "dynamic-exp", 2), "dynamic_peak_thpt")
+	b.ReportMetric(maxInColumn(b, rows, "static-128", 2), "static128_peak_thpt")
+}
+
+func BenchmarkE4PDSEstimate(b *testing.B) {
+	rows := runExperiment(b, "E4")
+	b.ReportMetric(cell(b, rows, 0, 1), "pds/msg@low")
+	b.ReportMetric(cell(b, rows, len(rows)-1, 1), "pds/msg@high")
+}
+
+func BenchmarkE5BufferDepth(b *testing.B) {
+	rows := runExperiment(b, "E5")
+	b.ReportMetric(maxInColumn(b, rows, "CR(d=2)", 2), "cr_d2_peak")
+	b.ReportMetric(maxInColumn(b, rows, "DOR(d=16)", 2), "dor_d16_peak")
+}
+
+func BenchmarkE6VirtualChannels(b *testing.B) {
+	rows := runExperiment(b, "E6")
+	b.ReportMetric(maxInColumn(b, rows, "CR(vc=2)", 2), "cr_2vc_peak")
+	b.ReportMetric(maxInColumn(b, rows, "DOR(vc=2,d=8)", 2), "dor_2vc_peak")
+}
+
+func BenchmarkE7InterfaceBandwidth(b *testing.B) {
+	rows := runExperiment(b, "E7")
+	b.ReportMetric(maxInColumn(b, rows, "CR(ch=1)", 2), "cr_1ch_peak")
+	b.ReportMetric(maxInColumn(b, rows, "CR(ch=4)", 2), "cr_4ch_peak")
+}
+
+func BenchmarkE8TransientFaults(b *testing.B) {
+	rows := runExperiment(b, "E8")
+	// Corrupt deliveries under FCR must be zero at every fault rate.
+	for _, r := range rows {
+		if r[0] == "FCR" && r[4] != "0" {
+			b.Fatalf("FCR delivered corrupt data: %v", r)
+		}
+	}
+	b.ReportMetric(maxInColumn(b, rows, "FCR", 3), "max_fkills/msg")
+}
+
+func BenchmarkE9PermanentFaults(b *testing.B) {
+	rows := runExperiment(b, "E9")
+	for _, r := range rows {
+		if r[len(r)-1] != "0" {
+			b.Fatalf("messages abandoned under permanent faults: %v", r)
+		}
+	}
+	b.ReportMetric(cell(b, rows, len(rows)-1, 2), "latency@8dead")
+}
+
+func BenchmarkE10TimeoutSensitivity(b *testing.B) {
+	rows := runExperiment(b, "E10")
+	b.ReportMetric(maxInColumn(b, rows, "8", 3), "kills/msg@t8")
+	b.ReportMetric(maxInColumn(b, rows, "128", 3), "kills/msg@t128")
+}
+
+func BenchmarkE11HardwareCost(b *testing.B) {
+	rows := runExperiment(b, "E11")
+	b.ReportMetric(maxInColumn(b, rows, "CR(1vc,d=2)", 2), "cr_buffer_flits")
+	b.ReportMetric(maxInColumn(b, rows, "DOR(2vc,d=16)", 2), "dor_buffer_flits")
+}
+
+func BenchmarkE12TrafficPatterns(b *testing.B) {
+	rows := runExperiment(b, "E12")
+	// Headline: CR vs DOR peak throughput on transpose.
+	crBest, dorBest := 0.0, 0.0
+	for _, r := range rows {
+		if r[0] != "transpose" {
+			continue
+		}
+		v, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r[1] == "CR" && v > crBest {
+			crBest = v
+		}
+		if r[1] == "DOR" && v > dorBest {
+			dorBest = v
+		}
+	}
+	b.ReportMetric(crBest, "cr_transpose_peak")
+	b.ReportMetric(dorBest, "dor_transpose_peak")
+}
+
+func BenchmarkE13PaddingOverhead(b *testing.B) {
+	rows := runExperiment(b, "E13")
+	b.ReportMetric(cell(b, rows, 0, 1), "cr_pad@len4")
+	b.ReportMetric(cell(b, rows, len(rows)-1, 1), "cr_pad@len64")
+}
+
+func BenchmarkE14Properties(b *testing.B) {
+	rows := runExperiment(b, "E14")
+	for _, r := range rows {
+		if r[len(r)-1] != "PASS" {
+			b.Fatalf("property failed: %v", r)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "properties_checked")
+}
+
+func BenchmarkE15TimeoutSchemes(b *testing.B) {
+	rows := runExperiment(b, "E15")
+	b.ReportMetric(maxInColumn(b, rows, "source-based", 4), "source_kills/msg")
+	b.ReportMetric(maxInColumn(b, rows, "path-wide", 4), "pathwide_kills/msg")
+}
+
+func BenchmarkE16TurnModel(b *testing.B) {
+	rows := runExperiment(b, "E16")
+	best := func(scheme string) float64 {
+		v := 0.0
+		for _, r := range rows {
+			if r[0] != "transpose" || r[1] != scheme {
+				continue
+			}
+			if x, err := strconv.ParseFloat(r[3], 64); err == nil && x > v {
+				v = x
+			}
+		}
+		return v
+	}
+	b.ReportMetric(best("CR"), "cr_transpose_peak")
+	b.ReportMetric(best("west-first"), "wf_transpose_peak")
+	b.ReportMetric(best("DOR"), "dor_transpose_peak")
+}
+
+func BenchmarkE17LatencyDistribution(b *testing.B) {
+	rows := runExperiment(b, "E17")
+	b.ReportMetric(maxInColumn(b, rows, "CR", 5), "cr_max_p99")
+	b.ReportMetric(maxInColumn(b, rows, "DOR", 5), "dor_max_p99")
+}
+
+func BenchmarkE19Applications(b *testing.B) {
+	rows := runExperiment(b, "E19")
+	for _, r := range rows {
+		if r[2] == "DNF" {
+			b.Fatalf("workload did not finish: %v", r)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "workload_runs")
+}
+
+func BenchmarkE18BimodalTraffic(b *testing.B) {
+	rows := runExperiment(b, "E18")
+	b.ReportMetric(maxInColumn(b, rows, "CR", 3), "cr_peak_thpt")
+	b.ReportMetric(maxInColumn(b, rows, "DOR", 3), "dor_peak_thpt")
+}
+
+func BenchmarkE20SelectionPolicy(b *testing.B) {
+	rows := runExperiment(b, "E20")
+	b.ReportMetric(maxInColumn(b, rows, "rotating", 3), "rotating_peak")
+	b.ReportMetric(maxInColumn(b, rows, "first", 3), "first_peak")
+	b.ReportMetric(maxInColumn(b, rows, "least-loaded", 3), "leastloaded_peak")
+}
+
+func BenchmarkE21PaddingMargin(b *testing.B) {
+	rows := runExperiment(b, "E21")
+	// The designed padding (adjust >= 0) must never lose a message.
+	for _, r := range rows {
+		if adj, err := strconv.Atoi(r[0]); err == nil && adj >= 0 {
+			if r[1] != "0" {
+				b.Fatalf("designed padding lost messages: %v", r)
+			}
+		}
+	}
+	b.ReportMetric(maxInColumn(b, rows, "-100", 1), "lost@-100")
+}

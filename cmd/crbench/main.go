@@ -1,0 +1,90 @@
+// Command crbench regenerates the paper's tables and figures.
+//
+// Each experiment (E1..E21, see DESIGN.md) sweeps the parameter the
+// corresponding figure plots and prints the series as an aligned table
+// (or CSV with -csv). -scale quick runs an 8x8 torus with short windows;
+// -scale full reproduces the paper's 16x16 torus.
+//
+// Examples:
+//
+//	crbench -list
+//	crbench -exp E3
+//	crbench -exp all -scale full -csv > results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crnet/internal/sim"
+)
+
+// selectExperiments resolves an -exp argument: "all", a single id, or a
+// comma-separated id list.
+func selectExperiments(arg string) ([]sim.Experiment, error) {
+	if strings.EqualFold(arg, "all") {
+		return sim.Experiments, nil
+	}
+	var out []sim.Experiment
+	for _, part := range strings.Split(arg, ",") {
+		id := strings.ToUpper(strings.TrimSpace(part))
+		e, ok := sim.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", part)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
+		scale = flag.String("scale", "quick", "quick (8x8, fast) or full (16x16, paper scale)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.Experiments {
+			fmt.Printf("%-4s %-60s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var s sim.Scale
+	switch *scale {
+	case "quick":
+		s = sim.Quick
+	case "full":
+		s = sim.Full
+	default:
+		fmt.Fprintf(os.Stderr, "crbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	selected, err := selectExperiments(*expID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		tbl := e.Run(s)
+		if *csv {
+			fmt.Printf("# %s: %s [%s]\n", e.ID, e.Title, e.Paper)
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Print(tbl.String())
+			fmt.Printf("(%s, scale %s, %v)\n", e.Paper, *scale, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil || len(all) < 21 {
+		t.Fatalf("all: %v (%d)", err, len(all))
+	}
+	one, err := selectExperiments("e3")
+	if err != nil || len(one) != 1 || one[0].ID != "E3" {
+		t.Fatalf("single: %v %v", err, one)
+	}
+	many, err := selectExperiments("E1, e5 ,E21")
+	if err != nil || len(many) != 3 || many[2].ID != "E21" {
+		t.Fatalf("list: %v %v", err, many)
+	}
+	if _, err := selectExperiments("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := selectExperiments("E1,,E2"); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Command crtopo inspects a topology: size, diameter, average distance,
+// uniform capacity, and optionally the dimension-order route and minimal
+// port sets between two nodes — a debugging aid for routing work.
+//
+// Examples:
+//
+//	crtopo -topo torus -k 16 -dims 2
+//	crtopo -topo torus -k 8 -dims 2 -from 0 -to 36
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "torus", "topology: torus, mesh, hypercube")
+		k        = flag.Int("k", 8, "radix for torus/mesh")
+		dims     = flag.Int("dims", 2, "dimensions (or hypercube order)")
+		from     = flag.Int("from", -1, "source node for route display")
+		to       = flag.Int("to", -1, "destination node for route display")
+	)
+	flag.Parse()
+
+	var topo topology.Topology
+	switch *topoName {
+	case "torus":
+		topo = topology.NewTorus(*k, *dims)
+	case "mesh":
+		topo = topology.NewMesh(*k, *dims)
+	case "hypercube":
+		topo = topology.NewHypercube(*dims)
+	default:
+		fmt.Fprintf(os.Stderr, "crtopo: unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("topology:      %s\n", topo.Name())
+	fmt.Printf("nodes:         %d\n", topo.Nodes())
+	fmt.Printf("degree:        %d ports/node\n", topo.Degree())
+	fmt.Printf("diameter:      %d hops\n", topo.Diameter())
+	fmt.Printf("avg distance:  %.3f hops (distinct pairs)\n", topo.AverageDistance())
+	fmt.Printf("capacity:      %.4f flits/node/cycle (uniform traffic)\n", traffic.CapacityFlitsPerNode(topo))
+
+	if *from < 0 || *to < 0 {
+		return
+	}
+	src, dst := topology.NodeID(*from), topology.NodeID(*to)
+	if int(src) >= topo.Nodes() || int(dst) >= topo.Nodes() {
+		fmt.Fprintln(os.Stderr, "crtopo: node out of range")
+		os.Exit(2)
+	}
+	fmt.Printf("\nroute %d -> %d (distance %d):\n", src, dst, topo.Distance(src, dst))
+
+	// Dimension-order walk with the candidate sets at each hop.
+	alg := routing.DOR{}
+	adaptive := routing.MinimalAdaptive{}
+	cur := src
+	inPort, inVC := topology.InvalidPort, -1
+	for cur != dst {
+		req := routing.Request{
+			Topo: topo, Cur: cur, Dst: dst,
+			InPort: inPort, InVC: inVC, NumVCs: alg.MinVCs(topo),
+		}
+		dor := alg.Route(req, nil)
+		req.NumVCs = 1
+		min := adaptive.Route(req, nil)
+		if len(dor) == 0 {
+			fmt.Printf("  %4d: no DOR candidate (unreachable)\n", cur)
+			break
+		}
+		c := dor[0]
+		next, _ := topo.Neighbor(cur, c.Port)
+		fmt.Printf("  %4d: DOR -> port %d vc %d (to %d); adaptive ports: %s\n",
+			cur, c.Port, c.VC, next, portList(min))
+		inPort = topo.ReversePort(cur, c.Port)
+		inVC = c.VC
+		cur = next
+	}
+	fmt.Printf("  %4d: destination\n", dst)
+}
+
+func portList(cands []routing.Candidate) string {
+	seen := map[topology.Port]bool{}
+	s := ""
+	for _, c := range cands {
+		if seen[c.Port] {
+			continue
+		}
+		seen[c.Port] = true
+		if s != "" {
+			s += ","
+		}
+		s += fmt.Sprint(int(c.Port))
+	}
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+// Adaptive vs dimension-order routing: the workload from the paper's
+// motivation. On transpose traffic every dimension-order route in a
+// quadrant funnels through the same turn nodes, while adaptive routing
+// spreads messages across all minimal paths. CR delivers full adaptivity
+// without virtual channels; DOR gets twice CR's buffer budget and still
+// loses as the pattern skews.
+//
+//	go run ./examples/adaptive_vs_dor
+package main
+
+import (
+	"fmt"
+
+	"crnet/internal/core"
+	"crnet/internal/network"
+	"crnet/internal/routing"
+	"crnet/internal/sim"
+	"crnet/internal/stats"
+	"crnet/internal/topology"
+)
+
+func run(alg routing.Algorithm, protocol core.Protocol, bufDepth int, pattern string, load float64) sim.Metrics {
+	m, err := sim.Run(sim.Config{
+		Net: network.Config{
+			Topo:     topology.NewTorus(8, 2),
+			Alg:      alg,
+			Protocol: protocol,
+			BufDepth: bufDepth,
+			Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+			Seed:     1,
+		},
+		Pattern:       pattern,
+		Load:          load,
+		MsgLen:        16,
+		WarmupCycles:  1000,
+		MeasureCycles: 5000,
+		Seed:          7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func main() {
+	t := stats.NewTable("CR (adaptive, 1 VC x 2 flits) vs DOR (2 VCs x 2 flits) on an 8x8 torus",
+		"pattern", "load", "CR thpt", "DOR thpt", "CR latency", "DOR latency")
+	for _, pattern := range []string{"uniform", "transpose", "bit-reversal"} {
+		for _, load := range []float64{0.2, 0.4, 0.6} {
+			cr := run(routing.MinimalAdaptive{}, core.CR, 2, pattern, load)
+			dor := run(routing.DOR{}, core.Plain, 2, pattern, load)
+			t.AddRow(pattern, load, cr.Throughput, dor.Throughput, cr.AvgLatency, dor.AvgLatency)
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nCR's margin grows on the skewed patterns: adaptivity routes around")
+	fmt.Println("the hot diagonals that dimension-order routing must pass through.")
+}

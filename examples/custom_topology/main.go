@@ -1,0 +1,73 @@
+// Topology generality: the same CR protocol engine runs unchanged on a
+// torus, a mesh and a hypercube — the paper's claim that CR applies to
+// arbitrary topologies because deadlock freedom comes from the protocol,
+// not from topology-specific virtual-channel schedules.
+//
+//	go run ./examples/custom_topology
+package main
+
+import (
+	"fmt"
+
+	"crnet/internal/core"
+	"crnet/internal/network"
+	"crnet/internal/routing"
+	"crnet/internal/sim"
+	"crnet/internal/stats"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+func main() {
+	// An irregular machine: four 4-node clusters on a ring, one express
+	// chord across — no dimension order exists here, but CR still works.
+	var edges []topology.Edge
+	for c := 0; c < 4; c++ {
+		base := topology.NodeID(c * 4)
+		edges = append(edges,
+			topology.Edge{A: base, B: base + 1}, topology.Edge{A: base, B: base + 2},
+			topology.Edge{A: base + 1, B: base + 3}, topology.Edge{A: base + 2, B: base + 3},
+			topology.Edge{A: base + 3, B: topology.NodeID((c*4 + 4) % 16)},
+		)
+	}
+	edges = append(edges, topology.Edge{A: 1, B: 9}) // express chord
+	irregular := topology.MustIrregular("4-cluster ring", 16, edges)
+
+	topos := []topology.Topology{
+		topology.NewTorus(8, 2),  // 64 nodes, wraparound rings
+		topology.NewMesh(8, 2),   // 64 nodes, no wraparound
+		topology.NewHypercube(6), // 64 nodes, 6 dimensions
+		topology.NewTorus(4, 3),  // 64 nodes, 3-D torus
+		irregular,                // 16 nodes, no regular structure at all
+	}
+	t := stats.NewTable("CR across topologies (64 nodes, uniform traffic, load 0.3, 16-flit messages)",
+		"topology", "diameter", "avg_dist", "capacity", "thpt", "avg_latency", "kills/msg")
+	for _, topo := range topos {
+		m, err := sim.Run(sim.Config{
+			Net: network.Config{
+				Topo:     topo,
+				Alg:      routing.MinimalAdaptive{},
+				Protocol: core.CR,
+				BufDepth: 2,
+				Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+				Seed:     1,
+			},
+			Pattern:       "uniform",
+			Load:          0.3,
+			MsgLen:        16,
+			WarmupCycles:  1000,
+			MeasureCycles: 5000,
+			Seed:          99,
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(topo.Name(), topo.Diameter(), topo.AverageDistance(),
+			traffic.CapacityFlitsPerNode(topo), m.Throughput, m.AvgLatency, m.KillsPerMsg)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nNo virtual-channel schedule was changed between rows: the CR")
+	fmt.Println("injector only needs each topology's distance function for padding.")
+	fmt.Println("The last row has no dimension order at all — DOR cannot route it,")
+	fmt.Println("but CR's protocol-level deadlock freedom does not care.")
+}

@@ -1,0 +1,83 @@
+// Fault tolerance with FCR: transient data corruption on every link and
+// a permanent link failure mid-run. FCR detects corrupt flits with
+// per-flit checksums, tears the worm down backward (FKILL) before the
+// source finishes its padded injection, and retransmits — end-to-end
+// intact delivery with no acknowledgement messages and no software
+// retry buffers. An unprotected CR network on the same faulty links
+// silently delivers corrupted payloads.
+//
+//	go run ./examples/fault_tolerance
+package main
+
+import (
+	"fmt"
+
+	"crnet/internal/core"
+	"crnet/internal/faults"
+	"crnet/internal/network"
+	"crnet/internal/routing"
+	"crnet/internal/sim"
+	"crnet/internal/topology"
+)
+
+func main() {
+	topo := topology.NewTorus(8, 2)
+	base := network.Config{
+		Topo:          topo,
+		Alg:           routing.MinimalAdaptive{},
+		Protocol:      core.FCR,
+		BufDepth:      2,
+		Backoff:       core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		TransientRate: 5e-4, // one corruption per 2000 flit-hops
+		MisrouteAfter: 2,    // route around dead links from the 3rd attempt
+		MaxDetours:    4,
+		Seed:          11,
+	}
+	// Kill four random links a third of the way into the run.
+	probe := network.New(base)
+	base.LinkFailures = faults.RandomLinks(probe.Links(), 4, 3000, 5)
+
+	fmt.Println("FCR on an 8x8 torus: transient corruption (5e-4/flit-hop) + 4 links die at cycle 3000")
+	m, err := sim.Run(sim.Config{
+		Net:           base,
+		Pattern:       "uniform",
+		Load:          0.25,
+		MsgLen:        16,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+		Seed:          23,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  delivered:        %d messages, %d corrupt  <- FCR guarantee: zero corrupt\n",
+		m.Delivered, m.DeliveredCorrupt)
+	fmt.Printf("  faults injected:  %d transient corruptions\n", m.TransientFaults)
+	fmt.Printf("  fkill retries:    %.4f per message\n", m.FKillsPerMsg)
+	fmt.Printf("  misroute hops:    %d (routing around the dead links)\n", m.Misroutes)
+	fmt.Printf("  late fkills:      %d  <- padding bound held\n", m.LateFKills)
+	fmt.Printf("  abandoned:        %d messages\n", m.FailedMessages)
+	fmt.Printf("  latency:          avg %.1f cycles (p95 %d)\n\n", m.AvgLatency, m.P95Latency)
+
+	// The same faults without FCR's protection: CR pads and retries for
+	// deadlock recovery but carries no checksums, so corrupt payloads
+	// reach the application.
+	unprotected := base
+	unprotected.Protocol = core.CR
+	unprotected.LinkFailures = nil // keep it to transient faults only
+	mu, err := sim.Run(sim.Config{
+		Net:           unprotected,
+		Pattern:       "uniform",
+		Load:          0.25,
+		MsgLen:        16,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+		Seed:          23,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Same transient faults without FCR protection (plain CR):")
+	fmt.Printf("  delivered:        %d messages, %d corrupt  <- silent data corruption\n",
+		mu.Delivered, mu.DeliveredCorrupt)
+}

@@ -1,0 +1,52 @@
+// Quickstart: build an 8x8 torus with Compressionless Routing, offer a
+// moderate uniform load, and print the delivered performance.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"crnet/internal/core"
+	"crnet/internal/network"
+	"crnet/internal/routing"
+	"crnet/internal/sim"
+	"crnet/internal/topology"
+)
+
+func main() {
+	// A CR network needs no virtual channels: fully adaptive minimal
+	// routing with 2-flit buffers, deadlock handled by the CR protocol's
+	// source timeout + kill + retransmit.
+	cfg := network.Config{
+		Topo:     topology.NewTorus(8, 2),
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		VCs:      1,
+		BufDepth: 2,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Seed:     1,
+	}
+
+	m, err := sim.Run(sim.Config{
+		Net:           cfg,
+		Pattern:       "uniform",
+		Load:          0.25, // fraction of the torus' uniform capacity
+		MsgLen:        16,   // flits per message
+		WarmupCycles:  1000,
+		MeasureCycles: 5000,
+		Seed:          42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("Compressionless Routing on an 8x8 torus, uniform traffic at 25% load")
+	fmt.Printf("  delivered:   %d messages\n", m.Delivered)
+	fmt.Printf("  throughput:  %.4f flits/node/cycle\n", m.Throughput)
+	fmt.Printf("  latency:     avg %.1f cycles (p95 %d)\n", m.AvgLatency, m.P95Latency)
+	fmt.Printf("  kills:       %.4f per message (deadlock recovery events)\n", m.KillsPerMsg)
+	fmt.Printf("  pad cost:    %.3f pad flits per data flit\n", m.PadOverhead)
+	fmt.Printf("  integrity:   %d corrupt, %d reordered, %d failed\n",
+		m.DeliveredCorrupt, m.OrderErrors, m.FailedMessages)
+}

@@ -1,0 +1,3 @@
+module crnet
+
+go 1.22

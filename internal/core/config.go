@@ -1,0 +1,201 @@
+// Package core implements the paper's contribution: the Compressionless
+// Routing (CR) and Fault-tolerant Compressionless Routing (FCR) protocol
+// engines that sit in each node's network interface.
+//
+// The injector side pads worms to the minimum injection length, watches
+// its own injection progress to detect potential deadlock (the
+// compressionless property turns a blocked header into a source-visible
+// stall), kills and retransmits with configurable backoff, and tracks
+// commitment — the point where flow control alone proves the header has
+// been consumed at the destination.
+//
+// The receiver side assembles worms, strips protocol padding, verifies
+// per-flit checksums (FCR), triggers backward FKILL tear-downs on
+// corruption, and delivers exactly-once, in per-channel FIFO order.
+package core
+
+import (
+	"fmt"
+)
+
+// Protocol selects the network-interface protocol.
+type Protocol int
+
+const (
+	// Plain is baseline wormhole transmission: no padding, no timeouts,
+	// no kills. Deadlock freedom must come from the routing algorithm
+	// (e.g. DOR with datelines). Used for the paper's DOR baselines.
+	Plain Protocol = iota
+	// CR is Compressionless Routing: padding to the minimum injection
+	// length, source-timeout deadlock detection, kill and retransmit.
+	CR
+	// FCR is Fault-tolerant CR: CR plus end-to-end per-flit checksums,
+	// extended padding so a backward FKILL always reaches the source
+	// before the worm's tail is injected, and retransmission on FKILL.
+	FCR
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Plain:
+		return "plain"
+	case CR:
+		return "CR"
+	case FCR:
+		return "FCR"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// BackoffKind selects the retransmission-gap policy (the paper's Fig. 11
+// compares static gaps against dynamic exponential backoff).
+type BackoffKind int
+
+const (
+	// BackoffStatic waits a fixed gap between retransmission attempts.
+	BackoffStatic BackoffKind = iota
+	// BackoffExponential doubles the gap each failed attempt, capped.
+	BackoffExponential
+)
+
+// Backoff is a retransmission-gap policy.
+type Backoff struct {
+	Kind BackoffKind
+	// Gap is the static gap, or the exponential policy's base.
+	Gap int
+	// Cap bounds the exponential gap; 0 means 64 * Gap.
+	Cap int
+}
+
+// Gap returns the wait after failed attempt number `attempt` (0-based).
+func (b Backoff) GapFor(attempt int) int {
+	gap := b.Gap
+	if gap < 1 {
+		gap = 1
+	}
+	if b.Kind == BackoffStatic {
+		return gap
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 64 * gap
+	}
+	if attempt > 30 {
+		return cap
+	}
+	g := gap << uint(attempt)
+	if g > cap || g <= 0 {
+		return cap
+	}
+	return g
+}
+
+// Config parameterizes the CR/FCR engines. The zero value is not valid;
+// fill the required fields and call Validate.
+type Config struct {
+	// Protocol selects Plain, CR or FCR.
+	Protocol Protocol
+	// BufDepth is the per-VC buffer depth of the routers; the protocol
+	// needs it to compute slack bounds (Imin).
+	BufDepth int
+	// VCs is the routers' virtual channel count; it enters the paper's
+	// default timeout rule.
+	VCs int
+	// Timeout is the source stall timeout in cycles; 0 applies the
+	// paper's rule: framed length x max(1, VCs).
+	Timeout int
+	// Backoff is the retransmission-gap policy.
+	Backoff Backoff
+	// MaxAttempts gives up on a message after this many transmission
+	// attempts (it is then counted failed); 0 means 64. Values above the
+	// worm-id attempt space are rejected.
+	MaxAttempts int
+	// MisrouteAfter, when positive, allows attempts >= MisrouteAfter to
+	// take up to MaxDetours non-minimal hops (fault tolerance). The
+	// injector widens padding accordingly.
+	MisrouteAfter int
+	// MaxDetours bounds non-minimal hops per worm when misrouting.
+	MaxDetours int
+	// PadAdjust adds to (or, negative, removes from) the computed CR/FCR
+	// padding. It exists for the padding-margin ablation: shrinking FCR's
+	// pad below the slack + FKILL-latency bound makes late FKILLs — and
+	// thus lost messages — possible, demonstrating the bound is load-
+	// bearing. Production configurations leave it zero.
+	PadAdjust int
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Protocol != Plain && c.Protocol != CR && c.Protocol != FCR {
+		return fmt.Errorf("core: unknown protocol %d", c.Protocol)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("core: BufDepth = %d", c.BufDepth)
+	}
+	if c.VCs < 1 {
+		return fmt.Errorf("core: VCs = %d", c.VCs)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("core: Timeout = %d", c.Timeout)
+	}
+	if c.MaxAttempts < 0 || c.MaxAttempts > 255 {
+		return fmt.Errorf("core: MaxAttempts = %d outside [0,255]", c.MaxAttempts)
+	}
+	if c.MisrouteAfter > 0 && c.MaxDetours < 1 {
+		return fmt.Errorf("core: misrouting enabled with MaxDetours = %d", c.MaxDetours)
+	}
+	return nil
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts == 0 {
+		return 64
+	}
+	return c.MaxAttempts
+}
+
+// SlackBound returns the maximum number of flits that can be absorbed by
+// the network between a source and the consumption point over a path of
+// dist hops with bufDepth-deep virtual-channel buffers: the injection
+// buffer plus one input buffer per hop — bufDepth*(dist+1).
+//
+// Link registers add no capacity: credit-based flow control only
+// releases a flit onto a link when a downstream buffer slot is reserved
+// for it, so buffered + in-flight flits per hop never exceed bufDepth.
+// The bound is tight — the parametric compressionless test in the
+// network package verifies a blocked worm absorbs exactly this many
+// flits for every (dist, depth) pair.
+//
+// If a source has successfully injected more than SlackBound flits of a
+// worm, at least one flit has been consumed at the destination — which,
+// by FIFO worm order, means the header has. This is the compressionless
+// property CR is built on.
+func SlackBound(dist, bufDepth int) int {
+	return bufDepth * (dist + 1)
+}
+
+// IminCR returns CR's minimum injection length for a worm whose path is
+// at most dist hops: one more than the slack bound, so a fully injected
+// worm has provably delivered its header.
+func IminCR(dist, bufDepth int) int {
+	return SlackBound(dist, bufDepth) + 1
+}
+
+// fcrMargin covers the cycle-phase offsets between ejection-side
+// verification and injection-side abort in the simulator's discrete
+// timing model.
+const fcrMargin = 4
+
+// IminFCR returns FCR's minimum worm length for a message of dataLen
+// flits over a path of at most dist hops: the data itself, plus the
+// slack needed to guarantee the last data flit has been verified at the
+// receiver, plus the backward FKILL latency (one hop per cycle), plus a
+// small engine margin. While the source is injecting the resulting
+// padding run, any FKILL provoked by the message's data is guaranteed to
+// arrive, so "injection finished without FKILL" certifies intact
+// delivery without an acknowledgement message.
+func IminFCR(dataLen, dist, bufDepth int) int {
+	return dataLen + SlackBound(dist, bufDepth) + dist + fcrMargin
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"crnet/internal/core"
+)
+
+// The compressionless slack bound: how many flits a blocked worm can
+// absorb, and the padding CR derives from it.
+func ExampleSlackBound() {
+	const dist, bufDepth = 4, 2 // 4 hops, 2-flit buffers
+	slack := core.SlackBound(dist, bufDepth)
+	imin := core.IminCR(dist, bufDepth)
+	fmt.Printf("slack=%d flits, Imin=%d\n", slack, imin)
+	// A 6-flit message must be padded to Imin.
+	fmt.Printf("pad for a 6-flit message: %d\n", imin-6)
+	// Output:
+	// slack=10 flits, Imin=11
+	// pad for a 6-flit message: 5
+}
+
+// FCR pads further so a backward FKILL always beats the worm's tail.
+func ExampleIminFCR() {
+	const dataLen, dist, bufDepth = 8, 4, 2
+	fmt.Printf("CR frame: %d flits\n", max(dataLen, core.IminCR(dist, bufDepth)))
+	fmt.Printf("FCR frame: %d flits\n", core.IminFCR(dataLen, dist, bufDepth))
+	// Output:
+	// CR frame: 11 flits
+	// FCR frame: 26 flits
+}
+
+// Exponential backoff doubles the retransmission gap per failed attempt.
+func ExampleBackoff_GapFor() {
+	b := core.Backoff{Kind: core.BackoffExponential, Gap: 8, Cap: 64}
+	for attempt := 0; attempt < 5; attempt++ {
+		fmt.Print(b.GapFor(attempt), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 8 16 32 64 64
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/topology"
+)
+
+// FKiller lets the receiver tear a worm down backward from one of its
+// node's ejection channels; the network wires it to the local router.
+type FKiller interface {
+	FKill(channel int, worm flit.WormID)
+}
+
+// Delivery is one message handed to the local node by the receiver.
+type Delivery struct {
+	Msg     flit.MessageID
+	Worm    flit.WormID
+	Src     topology.NodeID
+	DataLen int
+	Time    int64
+	// DataOK reports whether every data payload matched the expected
+	// deterministic pattern end to end. Under FCR it is always true for
+	// delivered messages (corrupt worms are FKILLed); under Plain/CR
+	// with fault injection it exposes silent data corruption.
+	DataOK bool
+}
+
+// RecvStats counts receiver-side events.
+type RecvStats struct {
+	Delivered     int64 // messages delivered to the node
+	CorruptData   int64 // delivered messages with payload mismatches (non-FCR)
+	FKillsSent    int64 // backward tear-downs requested on corruption
+	KilledPartial int64 // partial worms discarded by forward kills
+	DataFlits     int64 // head+data flits received
+	PadFlits      int64 // padding flits received and stripped
+	OrderErrors   int64 // per source FIFO violations observed
+}
+
+// assembly is the in-progress reception state of one worm.
+type assembly struct {
+	src     topology.NodeID
+	msg     flit.MessageID
+	dataLen int
+	nextSeq int
+	channel int
+	dataOK  bool
+}
+
+// Receiver is one node's reception engine: it assembles worms from the
+// ejection channels, strips padding, verifies checksums under FCR and
+// delivers completed messages.
+type Receiver struct {
+	cfg    Config
+	node   topology.NodeID
+	fkill  FKiller
+	checks bool // end-to-end payload pattern checking
+
+	asm        map[flit.WormID]*assembly
+	deliveries []Delivery
+	lastSeen   map[topology.NodeID]flit.MessageID // per-source FIFO watermark
+	stats      RecvStats
+}
+
+// NewReceiver returns a receiver for node. fkill may be nil only for
+// Plain and CR configurations (they never send FKILLs).
+func NewReceiver(cfg Config, node topology.NodeID, fkill FKiller) *Receiver {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Protocol == FCR && fkill == nil {
+		panic("core: FCR receiver needs an FKiller")
+	}
+	return &Receiver{
+		cfg:      cfg,
+		node:     node,
+		fkill:    fkill,
+		checks:   true,
+		asm:      make(map[flit.WormID]*assembly),
+		lastSeen: make(map[topology.NodeID]flit.MessageID),
+	}
+}
+
+// Stats returns a copy of the receiver's counters.
+func (rc *Receiver) Stats() RecvStats { return rc.stats }
+
+// Pending returns the number of partially received worms.
+func (rc *Receiver) Pending() int { return len(rc.asm) }
+
+// Drain returns and clears the deliveries accumulated since the last
+// call. The simulation harness drains once per cycle.
+func (rc *Receiver) Drain() []Delivery {
+	d := rc.deliveries
+	rc.deliveries = nil
+	return d
+}
+
+// Accept consumes one flit arriving on ejection channel ch at cycle now.
+func (rc *Receiver) Accept(ch int, f flit.Flit, now int64) {
+	a := rc.asm[f.Worm]
+	if f.Kind == flit.Head {
+		if a != nil {
+			panic(fmt.Sprintf("core: duplicate head for worm %d at node %d", f.Worm, rc.node))
+		}
+		if rc.cfg.Protocol == FCR && !f.Verify() {
+			// Corrupt header that slipped to the destination (possible
+			// when corruption happens on the final link).
+			rc.reject(ch, f.Worm)
+			return
+		}
+		h := flit.DecodeHeader(f.Payload)
+		a = &assembly{src: h.Src, msg: f.Worm.Message(), dataLen: h.DataLen, nextSeq: 1, channel: ch, dataOK: true}
+		rc.asm[f.Worm] = a
+		rc.stats.DataFlits++
+		if f.Tail {
+			rc.deliver(f.Worm, a, now)
+		}
+		return
+	}
+	if a == nil {
+		// Flits of a worm we already rejected; the router purge races
+		// one flit — it is absorbed there, so reaching here means a
+		// protocol bug.
+		panic(fmt.Sprintf("core: body flit %v without assembly at node %d", f, rc.node))
+	}
+	if f.Seq != a.nextSeq {
+		panic(fmt.Sprintf("core: worm %d flit out of order at node %d: seq %d, want %d",
+			f.Worm, rc.node, f.Seq, a.nextSeq))
+	}
+	a.nextSeq++
+	switch f.Kind {
+	case flit.Data:
+		rc.stats.DataFlits++
+		if rc.cfg.Protocol == FCR && !f.Verify() {
+			rc.reject(ch, f.Worm)
+			return
+		}
+		if rc.checks && f.Payload != flit.PayloadWord(a.msg, f.Seq) {
+			a.dataOK = false
+		}
+	case flit.Pad:
+		rc.stats.PadFlits++
+		// Padding carries no information; corruption on it is ignored
+		// (the data was already verified by the time pads arrive).
+	}
+	if f.Tail {
+		rc.deliver(f.Worm, a, now)
+	}
+}
+
+// reject tears the worm down backward and forgets it.
+func (rc *Receiver) reject(ch int, worm flit.WormID) {
+	rc.stats.FKillsSent++
+	delete(rc.asm, worm)
+	rc.fkill.FKill(ch, worm)
+}
+
+func (rc *Receiver) deliver(worm flit.WormID, a *assembly, now int64) {
+	delete(rc.asm, worm)
+	rc.stats.Delivered++
+	if !a.dataOK {
+		rc.stats.CorruptData++
+	}
+	if last, ok := rc.lastSeen[a.src]; ok && a.msg < last {
+		rc.stats.OrderErrors++
+	}
+	rc.lastSeen[a.src] = a.msg
+	rc.deliveries = append(rc.deliveries, Delivery{
+		Msg:     a.msg,
+		Worm:    worm,
+		Src:     a.src,
+		DataLen: a.dataLen,
+		Time:    now,
+		DataOK:  a.dataOK,
+	})
+}
+
+// Discard drops the partial assembly of a worm whose forward KILL
+// reached the destination.
+func (rc *Receiver) Discard(worm flit.WormID) {
+	if _, ok := rc.asm[worm]; ok {
+		delete(rc.asm, worm)
+		rc.stats.KilledPartial++
+	}
+}

@@ -1,0 +1,134 @@
+// Package faults models the failure processes the FCR evaluation
+// injects: transient data corruption on channel traversals and permanent
+// link failures.
+//
+// Transient faults flip payload (or checksum) bits of flits crossing a
+// link, exactly the data-path errors the paper's per-flit checksums
+// detect. Control metadata (kind, tail mark, tear-down signals) is
+// modeled as reliable — the paper protects control lines with separate
+// coding, so corrupting them would only change constants, not behavior.
+//
+// Permanent faults take a link down at a scheduled cycle; the network
+// reacts by tearing down worms that hold the link and the CR retry
+// protocol routes replacement attempts around it.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"crnet/internal/flit"
+	"crnet/internal/rng"
+)
+
+// Transient is a Bernoulli per-flit-traversal corruption process. The
+// zero value injects nothing.
+type Transient struct {
+	// Rate is the probability that a flit is corrupted on one link
+	// traversal.
+	Rate float64
+	rng  *rng.Source
+
+	injected int64
+}
+
+// NewTransient returns a transient fault process with its own RNG stream.
+func NewTransient(rate float64, seed uint64) *Transient {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("faults: transient rate %v outside [0,1]", rate))
+	}
+	return &Transient{Rate: rate, rng: rng.New(seed)}
+}
+
+// Apply possibly corrupts f in place and reports whether it did. With
+// probability Rate it flips one uniformly chosen bit of the payload or,
+// one time in nine, of the checksum byte — so both data and check-bit
+// errors are exercised.
+func (t *Transient) Apply(f *flit.Flit) bool {
+	if t == nil || t.Rate <= 0 {
+		return false
+	}
+	if !t.rng.Bernoulli(t.Rate) {
+		return false
+	}
+	t.injected++
+	bit := t.rng.Intn(72)
+	if bit < 64 {
+		f.Payload ^= 1 << uint(bit)
+	} else {
+		f.Check ^= 1 << uint(bit-64)
+	}
+	return true
+}
+
+// Injected returns how many corruptions have been applied.
+func (t *Transient) Injected() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.injected
+}
+
+// LinkID names a unidirectional link by its source endpoint: node and
+// output port.
+type LinkID struct {
+	Node int
+	Port int
+}
+
+// Event is one scheduled permanent failure.
+type Event struct {
+	Cycle int64
+	Link  LinkID
+}
+
+// Schedule is an ordered list of permanent link failures. Construct with
+// NewSchedule; Pop events as simulation time advances.
+type Schedule struct {
+	events []Event
+	next   int
+}
+
+// NewSchedule returns a schedule of the given events, sorted by cycle.
+func NewSchedule(events []Event) *Schedule {
+	s := &Schedule{events: append([]Event(nil), events...)}
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Cycle < s.events[j].Cycle })
+	return s
+}
+
+// Pop returns all events due at or before now, advancing the cursor.
+func (s *Schedule) Pop(now int64) []Event {
+	if s == nil {
+		return nil
+	}
+	start := s.next
+	for s.next < len(s.events) && s.events[s.next].Cycle <= now {
+		s.next++
+	}
+	return s.events[start:s.next]
+}
+
+// Remaining returns how many events have not fired yet.
+func (s *Schedule) Remaining() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events) - s.next
+}
+
+// RandomLinks builds a failure schedule killing n distinct links chosen
+// uniformly from the given candidates, all at the given cycle. It is the
+// workload for the permanent-fault experiment (E9).
+func RandomLinks(candidates []LinkID, n int, cycle int64, seed uint64) *Schedule {
+	if n > len(candidates) {
+		panic(fmt.Sprintf("faults: want %d dead links, only %d candidates", n, len(candidates)))
+	}
+	r := rng.New(seed)
+	perm := make([]int, len(candidates))
+	r.Perm(perm)
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		events = append(events, Event{Cycle: cycle, Link: candidates[perm[i]]})
+	}
+	return NewSchedule(events)
+}

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"crnet/internal/flit"
+)
+
+func freshFlit() flit.Flit {
+	fr := flit.Frame{Msg: flit.Message{ID: 1, Src: 0, Dst: 5, DataLen: 4}}
+	return fr.FlitAt(1)
+}
+
+func TestTransientRate(t *testing.T) {
+	tr := NewTransient(0.1, 1)
+	const trials = 50000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		f := freshFlit()
+		if tr.Apply(&f) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("corruption rate %v, want ~0.1", got)
+	}
+	if tr.Injected() != int64(hits) {
+		t.Fatalf("Injected() = %d, want %d", tr.Injected(), hits)
+	}
+}
+
+func TestTransientCorruptionIsDetectable(t *testing.T) {
+	tr := NewTransient(1.0, 2)
+	for i := 0; i < 1000; i++ {
+		f := freshFlit()
+		if !tr.Apply(&f) {
+			t.Fatal("rate-1.0 process did not corrupt")
+		}
+		if f.Verify() {
+			t.Fatal("corrupted flit still verifies")
+		}
+	}
+}
+
+func TestTransientZeroAndNil(t *testing.T) {
+	f := freshFlit()
+	var nilT *Transient
+	if nilT.Apply(&f) || nilT.Injected() != 0 {
+		t.Fatal("nil Transient corrupted a flit")
+	}
+	zero := NewTransient(0, 3)
+	for i := 0; i < 100; i++ {
+		if zero.Apply(&f) {
+			t.Fatal("rate-0 process corrupted a flit")
+		}
+	}
+	if !f.Verify() {
+		t.Fatal("flit damaged by no-op processes")
+	}
+}
+
+func TestTransientBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 1.5 did not panic")
+		}
+	}()
+	NewTransient(1.5, 1)
+}
+
+func TestScheduleOrderingAndPop(t *testing.T) {
+	s := NewSchedule([]Event{
+		{Cycle: 30, Link: LinkID{Node: 3, Port: 0}},
+		{Cycle: 10, Link: LinkID{Node: 1, Port: 1}},
+		{Cycle: 20, Link: LinkID{Node: 2, Port: 2}},
+	})
+	if s.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	if evs := s.Pop(5); len(evs) != 0 {
+		t.Fatalf("Pop(5) = %v", evs)
+	}
+	evs := s.Pop(20)
+	if len(evs) != 2 || evs[0].Link.Node != 1 || evs[1].Link.Node != 2 {
+		t.Fatalf("Pop(20) = %v", evs)
+	}
+	if evs := s.Pop(20); len(evs) != 0 {
+		t.Fatalf("second Pop(20) = %v", evs)
+	}
+	if evs := s.Pop(100); len(evs) != 1 || evs[0].Cycle != 30 {
+		t.Fatalf("Pop(100) = %v", evs)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after drain", s.Remaining())
+	}
+}
+
+func TestNilSchedule(t *testing.T) {
+	var s *Schedule
+	if s.Pop(100) != nil || s.Remaining() != 0 {
+		t.Fatal("nil schedule not neutral")
+	}
+}
+
+func TestRandomLinksDistinct(t *testing.T) {
+	var candidates []LinkID
+	for n := 0; n < 16; n++ {
+		for p := 0; p < 4; p++ {
+			candidates = append(candidates, LinkID{Node: n, Port: p})
+		}
+	}
+	s := RandomLinks(candidates, 8, 50, 7)
+	evs := s.Pop(50)
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want 8", len(evs))
+	}
+	seen := map[LinkID]bool{}
+	for _, e := range evs {
+		if e.Cycle != 50 {
+			t.Fatalf("event at cycle %d, want 50", e.Cycle)
+		}
+		if seen[e.Link] {
+			t.Fatalf("duplicate dead link %v", e.Link)
+		}
+		seen[e.Link] = true
+	}
+}
+
+func TestRandomLinksDeterministic(t *testing.T) {
+	candidates := []LinkID{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}}
+	a := RandomLinks(candidates, 3, 1, 42).Pop(1)
+	b := RandomLinks(candidates, 3, 1, 42).Pop(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}
+
+func TestRandomLinksTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversubscribed RandomLinks did not panic")
+		}
+	}()
+	RandomLinks([]LinkID{{0, 0}}, 2, 0, 1)
+}

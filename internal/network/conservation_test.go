@@ -1,0 +1,64 @@
+package network
+
+import (
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/flit"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+// checkLinkConservation asserts, for every network link and VC:
+// upstream credits + downstream buffered + in-flight == BufDepth.
+func checkLinkConservation(t *testing.T, n *Network, vcs, depth int) {
+	t.Helper()
+	for id := range n.links {
+		for p := range n.links[id] {
+			l := &n.links[id][p]
+			if !l.exists || !l.up {
+				continue
+			}
+			for vc := 0; vc < vcs; vc++ {
+				inFlight := 0
+				if l.busy && l.vc == vc {
+					inFlight = 1
+				}
+				credit := n.routers[id].CreditOf(p, vc)
+				buffered := n.routers[l.toNode].BufferedAt(l.toPort, vc)
+				if credit+buffered+inFlight != depth {
+					t.Fatalf("cycle %d: link (%d,%d) vc %d: credit %d + buffered %d + inflight %d != %d",
+						n.Cycle(), id, p, vc, credit, buffered, inFlight, depth)
+				}
+			}
+		}
+	}
+}
+
+func TestCreditConservationUnderKillStorm(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	const vcs, depth = 2, 2
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		VCs:      vcs,
+		BufDepth: depth,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Seed:     3,
+		Check:    true,
+	})
+	gen := traffic.NewGenerator(topo, traffic.Uniform{Nodes: topo.Nodes()}, 0.9, 8, 9)
+	for c := int64(0); c < 8000; c++ {
+		for node := 0; node < topo.Nodes(); node++ {
+			if m, ok := gen.Tick(topology.NodeID(node), c); ok {
+				n.SubmitMessage(m)
+			}
+		}
+		n.Step()
+		n.DrainDeliveries()
+		checkLinkConservation(t, n, vcs, depth)
+	}
+	_ = flit.MessageID(0)
+}

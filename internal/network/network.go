@@ -1,0 +1,413 @@
+// Package network assembles a complete simulated machine: one wormhole
+// router per node, CR/FCR injector and receiver engines in each node
+// interface, the links between routers, fault injection, and the global
+// deterministic cycle loop.
+//
+// Per-cycle phase order (all iteration in ascending node/port order):
+//
+//  1. Out-of-band KILL/FKILL signals scheduled for this cycle (before
+//     arrivals, so a chasing kill clears a channel before a successor
+//     worm's head can land on it).
+//  2. Link arrivals from the previous cycle (transient faults applied).
+//  3. Permanent link-failure events and their tear-down sweeps.
+//  4. Injector ticks (protocol state machines push flits, detect
+//     timeouts, issue kills).
+//  5. Routing and output virtual-channel allocation.
+//  6. Switch transmission: one flit per output channel; ejected flits
+//     reach receivers, receiver FKILL requests are queued.
+//  7. Receiver FKILL tear-downs (local; propagation next cycle).
+//  8. Credit application (credits earned this cycle become visible next).
+package network
+
+import (
+	"fmt"
+
+	"crnet/internal/core"
+	"crnet/internal/faults"
+	"crnet/internal/flit"
+	"crnet/internal/router"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+)
+
+// Config describes a complete network. Topo and Alg are required.
+type Config struct {
+	Topo topology.Topology
+	Alg  routing.Algorithm
+
+	// Protocol selects the node-interface protocol (Plain wormhole for
+	// the DOR baselines, CR, or FCR).
+	Protocol core.Protocol
+	// VCs is the virtual channel count per network port; 0 means the
+	// algorithm's minimum.
+	VCs int
+	// BufDepth is the per-VC buffer depth; 0 means 2 (the paper's CR
+	// setting).
+	BufDepth int
+	// InjectionChannels and EjectionChannels size the node interface;
+	// 0 means 1.
+	InjectionChannels int
+	EjectionChannels  int
+
+	// Timeout, Backoff, MaxAttempts parameterize CR/FCR (see core).
+	Timeout int
+	// RouterTimeout enables the path-wide timeout ablation (see
+	// router.Config.RouterTimeout); requires a CR or FCR protocol so the
+	// sources retransmit router-killed worms.
+	RouterTimeout int
+	Backoff       core.Backoff
+	MaxAttempts   int
+	// MisrouteAfter/MaxDetours enable routing around permanent faults.
+	MisrouteAfter int
+	MaxDetours    int
+	// Select chooses the router's adaptive output-selection policy.
+	Select router.Selection
+	// PadAdjust tweaks CR/FCR padding for the padding-margin ablation.
+	PadAdjust int
+
+	// TransientRate is the per-flit, per-link corruption probability.
+	TransientRate float64
+	// Seed seeds the transient fault process.
+	Seed uint64
+	// LinkFailures schedules permanent link deaths.
+	LinkFailures *faults.Schedule
+
+	// Check enables router invariant verification every cycle (slow;
+	// tests only).
+	Check bool
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Topo == nil || c.Alg == nil {
+		return fmt.Errorf("network: Topo and Alg are required")
+	}
+	if c.VCs == 0 {
+		c.VCs = c.Alg.MinVCs(c.Topo)
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 2
+	}
+	if c.InjectionChannels == 0 {
+		c.InjectionChannels = 1
+	}
+	if c.EjectionChannels == 0 {
+		c.EjectionChannels = 1
+	}
+	if c.RouterTimeout > 0 && c.Protocol == core.Plain {
+		return fmt.Errorf("network: RouterTimeout needs CR or FCR (sources must retransmit)")
+	}
+	return nil
+}
+
+func (c Config) routerConfig() router.Config {
+	return router.Config{
+		VCs:               c.VCs,
+		BufDepth:          c.BufDepth,
+		InjectionChannels: c.InjectionChannels,
+		EjectionChannels:  c.EjectionChannels,
+		VerifyHeaders:     c.Protocol == core.FCR,
+		RouterTimeout:     c.RouterTimeout,
+		MisrouteAfter:     c.MisrouteAfter,
+		MaxDetours:        c.MaxDetours,
+		Select:            c.Select,
+		Check:             c.Check,
+	}
+}
+
+func (c Config) coreConfig() core.Config {
+	return core.Config{
+		Protocol:      c.Protocol,
+		BufDepth:      c.BufDepth,
+		VCs:           c.VCs,
+		Timeout:       c.Timeout,
+		Backoff:       c.Backoff,
+		MaxAttempts:   c.MaxAttempts,
+		MisrouteAfter: c.MisrouteAfter,
+		MaxDetours:    c.MaxDetours,
+		PadAdjust:     c.PadAdjust,
+	}
+}
+
+// link is one unidirectional channel between routers.
+type link struct {
+	exists bool
+	up     bool
+	toNode topology.NodeID
+	toPort int // input port index at toNode
+
+	busy bool
+	vc   int
+	f    flit.Flit
+
+	// flits counts traversals, for utilization reporting.
+	flits int64
+}
+
+// scheduledSignal is a tear-down signal due at a router next cycle.
+type scheduledSignal struct {
+	node topology.NodeID
+	sig  router.Signal
+}
+
+// creditEvent is a deferred credit refund.
+type creditEvent struct {
+	node topology.NodeID
+	port int
+	vc   int
+	n    int
+}
+
+// fkillReq is a receiver-initiated backward tear-down.
+type fkillReq struct {
+	node topology.NodeID
+	ch   int
+	worm flit.WormID
+}
+
+// Network is a complete simulated machine. Construct with New, drive
+// with Step, feed with SubmitMessage, observe with DrainDeliveries and
+// the stats accessors. Not safe for concurrent use.
+type Network struct {
+	cfg       Config
+	topo      topology.Topology
+	routers   []*router.Router
+	injectors []*core.Injector
+	receivers []*core.Receiver
+	links     [][]link // [node][port]
+
+	cycle      int64
+	signals    []scheduledSignal // due next cycle
+	sigNow     []scheduledSignal // being processed this cycle
+	credits    []creditEvent
+	fkills     []fkillReq
+	transient  *faults.Transient
+	emitBuf    []router.Emit
+	wormBuf    []router.WormAt
+	deliveries []core.Delivery
+
+	tracer Tracer
+
+	lastProgress  int64
+	killsDropped  int64 // signals dropped at dead links
+	flitsDropped  int64 // in-flight flits lost to link death
+	flitsDegraded int64 // transient corruptions applied on links
+}
+
+// New builds the network. It panics on invalid configuration.
+func New(cfg Config) *Network {
+	if err := cfg.fillDefaults(); err != nil {
+		panic(err)
+	}
+	topo := cfg.Topo
+	nodes := topo.Nodes()
+	n := &Network{
+		cfg:       cfg,
+		topo:      topo,
+		routers:   make([]*router.Router, nodes),
+		injectors: make([]*core.Injector, nodes),
+		receivers: make([]*core.Receiver, nodes),
+		links:     make([][]link, nodes),
+		transient: faults.NewTransient(cfg.TransientRate, cfg.Seed),
+	}
+	rcfg := cfg.routerConfig()
+	ccfg := cfg.coreConfig()
+	for id := 0; id < nodes; id++ {
+		node := topology.NodeID(id)
+		n.routers[id] = router.New(node, topo, cfg.Alg, rcfg)
+		ports := make([]core.Port, cfg.InjectionChannels)
+		for ch := range ports {
+			ports[ch] = injPort{net: n, node: node, ch: ch}
+		}
+		n.injectors[id] = core.NewInjector(ccfg, topo, node, ports, cfg.Seed)
+		n.receivers[id] = core.NewReceiver(ccfg, node, fkillPort{net: n, node: node})
+		n.links[id] = make([]link, topo.Degree())
+		for p := range n.links[id] {
+			next, ok := topo.Neighbor(node, topology.Port(p))
+			if !ok {
+				continue
+			}
+			n.links[id][p] = link{
+				exists: true,
+				up:     true,
+				toNode: next,
+				toPort: int(topo.ReversePort(node, topology.Port(p))),
+			}
+		}
+	}
+	return n
+}
+
+// injPort adapts a router injection channel to core.Port.
+type injPort struct {
+	net  *Network
+	node topology.NodeID
+	ch   int
+}
+
+func (p injPort) Ready() bool {
+	return p.net.routers[p.node].InjectionReady(p.ch)
+}
+
+func (p injPort) Free() int {
+	return p.net.routers[p.node].InjectionFree(p.ch)
+}
+
+func (p injPort) Inject(f flit.Flit) {
+	p.net.trace(EvInject, p.node, p.ch, 0, f.Worm, f.Seq)
+	p.net.routers[p.node].Inject(p.ch, f)
+}
+
+func (p injPort) Kill(worm flit.WormID) {
+	r := p.net.routers[p.node]
+	sig := router.Signal{Kind: router.KillFwd, Port: r.InjPort(p.ch), VC: 0, Worm: worm}
+	p.net.emitBuf = r.ApplySignal(sig, p.net.emitBuf[:0])
+	p.net.routeEmits(p.node, p.net.emitBuf)
+}
+
+// fkillPort lets a receiver tear worms down backward from its ejection
+// channels; requests are queued and applied after the transmit phase.
+type fkillPort struct {
+	net  *Network
+	node topology.NodeID
+}
+
+func (p fkillPort) FKill(ch int, worm flit.WormID) {
+	p.net.fkills = append(p.net.fkills, fkillReq{node: p.node, ch: ch, worm: worm})
+}
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Topology returns the network's topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Injector returns node id's injector (for submitting traffic).
+func (n *Network) Injector(id topology.NodeID) *core.Injector { return n.injectors[id] }
+
+// Receiver returns node id's receiver.
+func (n *Network) Receiver(id topology.NodeID) *core.Receiver { return n.receivers[id] }
+
+// SubmitMessage queues m at its source node's injector.
+func (n *Network) SubmitMessage(m flit.Message) { n.injectors[m.Src].Submit(m) }
+
+// DrainDeliveries returns and clears all messages delivered since the
+// last call.
+func (n *Network) DrainDeliveries() []core.Delivery {
+	d := n.deliveries
+	n.deliveries = nil
+	return d
+}
+
+// CyclesSinceProgress returns how long no flit has moved or arrived;
+// under CR this staying small is the liveness property.
+func (n *Network) CyclesSinceProgress() int64 { return n.cycle - n.lastProgress }
+
+// Links returns every existing link's id, for building fault schedules.
+func (n *Network) Links() []faults.LinkID {
+	var out []faults.LinkID
+	for id := range n.links {
+		for p := range n.links[id] {
+			if n.links[id][p].exists {
+				out = append(out, faults.LinkID{Node: id, Port: p})
+			}
+		}
+	}
+	return out
+}
+
+// LinkLoad reports one link's traversal count for utilization analysis.
+type LinkLoad struct {
+	Link  faults.LinkID
+	Up    bool
+	Flits int64
+}
+
+// LinkLoads returns every existing link's traversal count since the
+// start of the run, in (node, port) order.
+func (n *Network) LinkLoads() []LinkLoad {
+	var out []LinkLoad
+	for id := range n.links {
+		for p := range n.links[id] {
+			l := &n.links[id][p]
+			if !l.exists {
+				continue
+			}
+			out = append(out, LinkLoad{
+				Link:  faults.LinkID{Node: id, Port: p},
+				Up:    l.up,
+				Flits: l.flits,
+			})
+		}
+	}
+	return out
+}
+
+// RouterStats returns the sum of all routers' counters.
+func (n *Network) RouterStats() router.Stats {
+	var s router.Stats
+	for _, r := range n.routers {
+		s.Add(r.Stats())
+	}
+	return s
+}
+
+// InjectorStats returns the sum of all injectors' counters.
+func (n *Network) InjectorStats() core.InjStats {
+	var s core.InjStats
+	for _, in := range n.injectors {
+		o := in.Stats()
+		s.Submitted += o.Submitted
+		s.Completed += o.Completed
+		s.Kills += o.Kills
+		s.FKills += o.FKills
+		s.StaleFKills += o.StaleFKills
+		s.Failed += o.Failed
+		s.Retries += o.Retries
+		s.DataFlits += o.DataFlits
+		s.PadFlits += o.PadFlits
+		s.StallCycles += o.StallCycles
+		s.LateFKills += o.LateFKills
+	}
+	return s
+}
+
+// ReceiverStats returns the sum of all receivers' counters.
+func (n *Network) ReceiverStats() core.RecvStats {
+	var s core.RecvStats
+	for _, rc := range n.receivers {
+		o := rc.Stats()
+		s.Delivered += o.Delivered
+		s.CorruptData += o.CorruptData
+		s.FKillsSent += o.FKillsSent
+		s.KilledPartial += o.KilledPartial
+		s.DataFlits += o.DataFlits
+		s.PadFlits += o.PadFlits
+		s.OrderErrors += o.OrderErrors
+	}
+	return s
+}
+
+// TransientFaults returns how many corruptions the fault process applied.
+func (n *Network) TransientFaults() int64 { return n.transient.Injected() }
+
+// DroppedKillSignals returns tear-down signals dropped at dead links
+// (their work is completed by the dead-link sweep instead).
+func (n *Network) DroppedKillSignals() int64 { return n.killsDropped }
+
+// QueuedMessages returns the total backlog across all injectors.
+func (n *Network) QueuedMessages() int {
+	total := 0
+	for _, in := range n.injectors {
+		total += in.QueueLen()
+	}
+	return total
+}
+
+// PendingWorms returns how many worms currently occupy router resources.
+func (n *Network) PendingWorms() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.ActiveWormCount()
+	}
+	return total
+}

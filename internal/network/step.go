@@ -1,0 +1,283 @@
+package network
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/router"
+	"crnet/internal/topology"
+)
+
+// Step advances the simulation one cycle.
+//
+// Signals are processed before arrivals: a tear-down signal can never
+// overtake the worm's own flits (both advance one hop per cycle and the
+// signal is emitted a cycle after the last flit), but a *new* worm's
+// head can land in the same cycle as the previous worm's chasing kill —
+// the kill must clear the channel state first.
+func (n *Network) Step() {
+	progressed := false
+	n.phaseSignals()
+	progressed = n.phaseArrivals() || progressed
+	n.phaseLinkFailures()
+	n.phaseInjectors()
+	n.phaseAllocate()
+	progressed = n.phaseTransmit() || progressed
+	n.phaseFKills()
+	n.phaseCredits()
+	if progressed {
+		n.lastProgress = n.cycle
+	}
+	if n.cfg.Check {
+		for _, r := range n.routers {
+			if err := r.CheckInvariants(); err != nil {
+				panic(fmt.Sprintf("cycle %d: %v", n.cycle, err))
+			}
+		}
+	}
+	n.cycle++
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// phaseArrivals lands the flits that crossed links last cycle, applying
+// transient fault corruption. Absorbed tear-down stragglers refund the
+// upstream credit immediately (deferred to the credit phase).
+func (n *Network) phaseArrivals() bool {
+	any := false
+	for id := range n.links {
+		for p := range n.links[id] {
+			l := &n.links[id][p]
+			if !l.busy {
+				continue
+			}
+			any = true
+			f := l.f
+			l.busy = false
+			if !l.up {
+				// The link died while the flit was in flight.
+				n.flitsDropped++
+				continue
+			}
+			if n.transient.Apply(&f) {
+				n.flitsDegraded++
+				n.trace(EvCorrupt, l.toNode, l.toPort, l.vc, f.Worm, f.Seq)
+			}
+			n.trace(EvArrive, l.toNode, l.toPort, l.vc, f.Worm, f.Seq)
+			if n.routers[l.toNode].AcceptFlit(l.toPort, l.vc, f) {
+				// Straggler of a torn-down worm: consumed silently,
+				// credit flows back as if it had been forwarded.
+				n.credits = append(n.credits, creditEvent{node: topology.NodeID(id), port: p, vc: l.vc, n: 1})
+			}
+		}
+	}
+	return any
+}
+
+// phaseLinkFailures applies scheduled permanent faults: the link is
+// marked dead and every worm holding it is torn down — backward from the
+// upstream side (so its source retries on another path) and forward from
+// the downstream side (so the orphaned fragment is reclaimed).
+func (n *Network) phaseLinkFailures() {
+	for _, ev := range n.cfg.LinkFailures.Pop(n.cycle) {
+		id, p := ev.Link.Node, ev.Link.Port
+		l := &n.links[id][p]
+		if !l.exists || !l.up {
+			continue
+		}
+		l.up = false
+		n.trace(EvLinkDown, topology.NodeID(id), p, 0, 0, -1)
+		if l.busy {
+			l.busy = false
+			n.flitsDropped++
+		}
+		up := n.routers[id]
+		up.SetLinkDown(p)
+		// Tear down holders on the upstream side.
+		n.wormBuf = up.HeldWorms(p, n.wormBuf[:0])
+		for _, w := range n.wormBuf {
+			sig := router.Signal{Kind: router.KillBwd, Port: p, VC: w.VC, Worm: w.Worm}
+			n.emitBuf = up.ApplySignal(sig, n.emitBuf[:0])
+			n.routeEmits(topology.NodeID(id), n.emitBuf)
+		}
+		// Reclaim the orphaned fragments on the downstream side.
+		down := n.routers[l.toNode]
+		n.wormBuf = down.ActiveWorms(l.toPort, n.wormBuf[:0])
+		for _, w := range n.wormBuf {
+			sig := router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: w.VC, Worm: w.Worm}
+			n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
+			n.routeEmits(l.toNode, n.emitBuf)
+		}
+	}
+}
+
+// phaseSignals delivers the tear-down signals scheduled for this cycle.
+func (n *Network) phaseSignals() {
+	n.sigNow, n.signals = n.signals, n.sigNow[:0]
+	for _, s := range n.sigNow {
+		if s.sig.Kind == router.KillFwd {
+			n.trace(EvKill, s.node, s.sig.Port, s.sig.VC, s.sig.Worm, -1)
+		} else {
+			n.trace(EvFKill, s.node, s.sig.Port, s.sig.VC, s.sig.Worm, -1)
+		}
+		n.emitBuf = n.routers[s.node].ApplySignal(s.sig, n.emitBuf[:0])
+		n.routeEmits(s.node, n.emitBuf)
+	}
+}
+
+// phaseInjectors advances every node's protocol engine.
+func (n *Network) phaseInjectors() {
+	for _, in := range n.injectors {
+		in.Tick(n.cycle)
+	}
+}
+
+// phaseAllocate routes waiting headers and claims output channels.
+func (n *Network) phaseAllocate() {
+	for id, r := range n.routers {
+		n.emitBuf = r.RouteAndAllocate(n.emitBuf[:0])
+		if len(n.emitBuf) > 0 {
+			n.routeEmits(topology.NodeID(id), n.emitBuf)
+		}
+	}
+}
+
+// phaseTransmit forwards one flit per output channel per router; ejected
+// flits reach receivers, network flits enter links, dequeues earn
+// deferred upstream credits.
+func (n *Network) phaseTransmit() bool {
+	moved := false
+	for id, r := range n.routers {
+		node := topology.NodeID(id)
+		deg := r.Degree()
+		r.Transmit(
+			func(outPort, outVC int, f flit.Flit) {
+				moved = true
+				if outPort >= deg {
+					n.trace(EvEject, node, outPort-deg, 0, f.Worm, f.Seq)
+					rc := n.receivers[node]
+					rc.Accept(outPort-deg, f, n.cycle)
+					return
+				}
+				l := &n.links[id][outPort]
+				if !l.exists {
+					panic(fmt.Sprintf("network: transmit on missing link (%d,%d)", id, outPort))
+				}
+				if l.busy {
+					panic(fmt.Sprintf("network: link (%d,%d) double-booked", id, outPort))
+				}
+				l.busy = true
+				l.vc = outVC
+				l.f = f
+				l.flits++
+			},
+			func(inPort, inVC int) {
+				upNode, upPort := n.upstreamOf(node, inPort)
+				n.credits = append(n.credits, creditEvent{node: upNode, port: upPort, vc: inVC, n: 1})
+			},
+		)
+	}
+	return moved
+}
+
+// phaseFKills applies receiver-initiated backward tear-downs.
+func (n *Network) phaseFKills() {
+	if len(n.fkills) == 0 {
+		return
+	}
+	reqs := n.fkills
+	n.fkills = n.fkills[:0]
+	for _, req := range reqs {
+		r := n.routers[req.node]
+		sig := router.Signal{Kind: router.KillBwd, Port: r.EjPort(req.ch), VC: 0, Worm: req.worm}
+		n.emitBuf = r.ApplySignal(sig, n.emitBuf[:0])
+		n.routeEmits(req.node, n.emitBuf)
+	}
+	// Deliveries are collected after tear-downs so a rejected worm can
+	// never appear in the same cycle's output.
+}
+
+// phaseCredits applies deferred credit refunds and collects deliveries.
+func (n *Network) phaseCredits() {
+	for _, c := range n.credits {
+		n.routers[c.node].CreditN(c.port, c.vc, c.n)
+	}
+	n.credits = n.credits[:0]
+	for id, rc := range n.receivers {
+		ds := rc.Drain()
+		if len(ds) == 0 {
+			continue
+		}
+		if n.tracer != nil {
+			for _, d := range ds {
+				n.trace(EvDeliver, topology.NodeID(id), 0, 0, d.Worm, -1)
+			}
+		}
+		n.deliveries = append(n.deliveries, ds...)
+	}
+}
+
+// upstreamOf returns the node and output port feeding input port p of
+// node id: the neighbor in direction p, through its reverse port.
+func (n *Network) upstreamOf(id topology.NodeID, p int) (topology.NodeID, int) {
+	up, ok := n.topo.Neighbor(id, topology.Port(p))
+	if !ok {
+		panic(fmt.Sprintf("network: no upstream for (%d,%d)", id, p))
+	}
+	return up, int(n.topo.ReversePort(id, topology.Port(p)))
+}
+
+// routeEmits delivers a router's tear-down side effects: further signal
+// propagation (scheduled for next cycle), credit refunds (deferred to
+// this cycle's credit phase), receiver discards and injector FKILL
+// notifications (immediate).
+func (n *Network) routeEmits(node topology.NodeID, emits []router.Emit) {
+	r := n.routers[node]
+	deg := r.Degree()
+	for _, e := range emits {
+		switch e.Kind {
+		case router.EmitKillFwd:
+			if e.Port >= deg {
+				n.trace(EvDiscard, node, e.Port-deg, 0, e.Worm, -1)
+				n.receivers[node].Discard(e.Worm)
+				continue
+			}
+			l := &n.links[node][e.Port]
+			if !l.exists || !l.up {
+				// The downstream fragment is (or will be) reclaimed by
+				// the dead-link sweep.
+				n.killsDropped++
+				continue
+			}
+			n.signals = append(n.signals, scheduledSignal{
+				node: l.toNode,
+				sig:  router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: e.VC, Worm: e.Worm},
+			})
+		case router.EmitKillBwd:
+			if e.Port >= deg {
+				// Reached the source injection channel.
+				n.injectors[node].FKilled(e.Worm, n.cycle)
+				continue
+			}
+			upNode, upPort := n.upstreamOf(node, e.Port)
+			if !n.links[upNode][upPort].up {
+				n.killsDropped++
+				continue
+			}
+			n.signals = append(n.signals, scheduledSignal{
+				node: upNode,
+				sig:  router.Signal{Kind: router.KillBwd, Port: upPort, VC: e.VC, Worm: e.Worm},
+			})
+		case router.EmitCredits:
+			upNode, upPort := n.upstreamOf(node, e.Port)
+			n.credits = append(n.credits, creditEvent{node: upNode, port: upPort, vc: e.VC, n: e.N})
+		default:
+			panic(fmt.Sprintf("network: unknown emit kind %d", e.Kind))
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package network
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/topology"
+)
+
+// EventKind classifies observable network occurrences for tracing.
+type EventKind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	// EvInject: a flit entered an injection channel at Node.
+	EvInject EventKind = iota
+	// EvArrive: a flit landed at Node's input (Port, VC).
+	EvArrive
+	// EvCorrupt: the fault process corrupted a flit on the link into
+	// Node's (Port, VC).
+	EvCorrupt
+	// EvEject: a flit was delivered to Node's receiver (Port = ejection
+	// channel index).
+	EvEject
+	// EvKill: a forward KILL signal was applied at Node's input (Port, VC).
+	EvKill
+	// EvFKill: a backward FKILL signal was applied at Node's output
+	// (Port, VC).
+	EvFKill
+	// EvDeliver: the receiver at Node completed a message.
+	EvDeliver
+	// EvDiscard: the receiver at Node discarded a partial worm.
+	EvDiscard
+	// EvLinkDown: the link at (Node, Port) failed permanently.
+	EvLinkDown
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvInject:
+		return "INJECT"
+	case EvArrive:
+		return "ARRIVE"
+	case EvCorrupt:
+		return "CORRUPT"
+	case EvEject:
+		return "EJECT"
+	case EvKill:
+		return "KILL"
+	case EvFKill:
+		return "FKILL"
+	case EvDeliver:
+		return "DELIVER"
+	case EvDiscard:
+		return "DISCARD"
+	case EvLinkDown:
+		return "LINKDOWN"
+	default:
+		return fmt.Sprintf("Event(%d)", uint8(k))
+	}
+}
+
+// Event is one observable occurrence. Seq identifies the flit involved
+// (-1 for non-flit events).
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	Node  topology.NodeID
+	Port  int
+	VC    int
+	Worm  flit.WormID
+	Seq   int
+}
+
+// String renders the event for trace logs.
+func (e Event) String() string {
+	return fmt.Sprintf("[%6d] %-8s node=%-4d port=%d vc=%d worm=%d.%d seq=%d",
+		e.Cycle, e.Kind, e.Node, e.Port, e.VC, e.Worm.Message(), e.Worm.Attempt(), e.Seq)
+}
+
+// Tracer receives every traced event; install with SetTracer. The
+// tracer runs synchronously inside the cycle loop — keep it cheap.
+type Tracer func(Event)
+
+// SetTracer installs (or, with nil, removes) the event tracer. Tracing
+// is off by default and costs nothing when off.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+func (n *Network) trace(kind EventKind, node topology.NodeID, port, vc int, worm flit.WormID, seq int) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer(Event{Cycle: n.cycle, Kind: kind, Node: node, Port: port, VC: vc, Worm: worm, Seq: seq})
+}

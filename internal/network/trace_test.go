@@ -1,0 +1,128 @@
+package network
+
+import (
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/flit"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+)
+
+func TestTracerEventLifecycle(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Check:    true,
+	})
+	var events []Event
+	n.SetTracer(func(e Event) { events = append(events, e) })
+	m := flit.Message{ID: 1, Src: 0, Dst: 3, DataLen: 4}
+	n.SubmitMessage(m)
+	ds := runUntilIdle(t, n, 2000)
+	if len(ds) != 1 {
+		t.Fatalf("deliveries = %d", len(ds))
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		if e.Worm.Message() != 1 {
+			t.Fatalf("event for unknown message: %v", e)
+		}
+		kinds[e.Kind]++
+	}
+	dist := topo.Distance(0, 3) // 1 hop: (3,0) is a wraparound neighbor of (0,0)
+	frameLen := core.IminCR(dist, 2)
+	if kinds[EvInject] != frameLen {
+		t.Fatalf("inject events = %d, want %d", kinds[EvInject], frameLen)
+	}
+	// Every flit crosses dist links and ejects once.
+	if kinds[EvArrive] != dist*frameLen {
+		t.Fatalf("arrive events = %d, want %d", kinds[EvArrive], dist*frameLen)
+	}
+	if kinds[EvEject] != frameLen {
+		t.Fatalf("eject events = %d, want %d", kinds[EvEject], frameLen)
+	}
+	if kinds[EvDeliver] != 1 {
+		t.Fatalf("deliver events = %d", kinds[EvDeliver])
+	}
+	if kinds[EvKill]+kinds[EvFKill]+kinds[EvCorrupt]+kinds[EvDiscard] != 0 {
+		t.Fatalf("unexpected protocol events on an idle network: %v", kinds)
+	}
+	// Timeline ordering: first event is the head injection, last is the
+	// delivery.
+	if events[0].Kind != EvInject || events[0].Seq != 0 {
+		t.Fatalf("first event %v", events[0])
+	}
+	if events[len(events)-1].Kind != EvDeliver {
+		t.Fatalf("last event %v", events[len(events)-1])
+	}
+	prev := int64(-1)
+	for _, e := range events {
+		if e.Cycle < prev {
+			t.Fatal("events out of cycle order")
+		}
+		prev = e.Cycle
+	}
+}
+
+func TestTracerSeesKillsUnderContention(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		Timeout:  8,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+	})
+	kills := 0
+	n.SetTracer(func(e Event) {
+		if e.Kind == EvKill {
+			kills++
+		}
+	})
+	id := flit.MessageID(1)
+	for round := 0; round < 6; round++ {
+		for src := 0; src < topo.Nodes(); src++ {
+			dst := (src + topo.Nodes()/2) % topo.Nodes()
+			n.SubmitMessage(flit.Message{ID: id, Src: topology.NodeID(src), Dst: topology.NodeID(dst), DataLen: 16})
+			id++
+		}
+	}
+	runUntilIdle(t, n, 200000)
+	if kills == 0 {
+		t.Fatal("no kill events traced under saturating antipodal load")
+	}
+}
+
+func TestTracerOffByDefaultAndRemovable(t *testing.T) {
+	n := crNet(topology.NewTorus(4, 2))
+	calls := 0
+	n.SetTracer(func(Event) { calls++ })
+	n.SubmitMessage(flit.Message{ID: 1, Src: 0, Dst: 1, DataLen: 2})
+	n.Run(5)
+	if calls == 0 {
+		t.Fatal("tracer installed but never called")
+	}
+	n.SetTracer(nil)
+	before := calls
+	n.Run(20)
+	if calls != before {
+		t.Fatal("tracer called after removal")
+	}
+}
+
+func TestEventStringAndKinds(t *testing.T) {
+	e := Event{Cycle: 7, Kind: EvKill, Node: 3, Port: 1, VC: 0, Worm: flit.MakeWormID(9, 2), Seq: -1}
+	s := e.String()
+	if s == "" || EventKind(200).String() == "" {
+		t.Fatal("event strings empty")
+	}
+	for k := EvInject; k <= EvLinkDown; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package router
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+)
+
+// RouteAndAllocate routes every input virtual channel whose head flit is
+// waiting at the buffer front and tries to claim an output virtual
+// channel for it. Corrupt headers (under VerifyHeaders) trigger a
+// backward tear-down whose emissions are appended to emits.
+func (r *Router) RouteAndAllocate(emits []Emit) []Emit {
+	for p := range r.inputs {
+		for vc := range r.inputs[p] {
+			v := r.inputs[p][vc]
+			if !v.active || v.routed || v.count == 0 {
+				continue
+			}
+			head := v.front()
+			if r.cfg.Check && head.Kind != flit.Head {
+				panic(fmt.Sprintf("router %d: unrouted VC (%d,%d) fronted by %v", r.id, p, vc, head))
+			}
+			if r.cfg.VerifyHeaders && !head.Verify() {
+				emits = r.tearCorruptHeader(p, vc, v, emits)
+				continue
+			}
+			var ok bool
+			if head.Dst == r.id {
+				ok = r.allocateEjection(p, vc, v)
+			} else {
+				ok = r.allocateNetwork(p, vc, v, head)
+			}
+			if ok {
+				v.blocked = 0
+				continue
+			}
+			r.stats.BlockedHeaders++
+			v.blocked++
+			if r.cfg.RouterTimeout > 0 && v.blocked >= r.cfg.RouterTimeout {
+				emits = r.tearBlockedWorm(p, vc, v, emits)
+			}
+		}
+	}
+	return emits
+}
+
+// tearBlockedWorm implements the path-wide timeout: the router kills a
+// worm whose header it has held blocked for RouterTimeout cycles,
+// tearing it down backward so the source retransmits. Unlike the
+// source-based scheme, the router cannot know whether the worm is
+// committed or merely slow — the source of the paper's "unnecessary
+// kills" observation.
+func (r *Router) tearBlockedWorm(p, vc int, v *inVC, emits []Emit) []Emit {
+	r.stats.RouterKills++
+	worm := v.worm
+	if purged := r.purge(v); purged > 0 && p < r.deg {
+		emits = append(emits, Emit{Kind: EmitCredits, Port: p, VC: vc, Worm: worm, N: purged})
+	}
+	emits = append(emits, Emit{Kind: EmitKillBwd, Port: p, VC: vc, Worm: worm})
+	releaseIn(v, worm)
+	return emits
+}
+
+// tearCorruptHeader handles FCR's per-hop header protection: the worm is
+// purged here and torn down backward to its source.
+func (r *Router) tearCorruptHeader(p, vc int, v *inVC, emits []Emit) []Emit {
+	r.stats.HeaderFaults++
+	worm := v.worm
+	if purged := r.purge(v); purged > 0 && p < r.deg {
+		emits = append(emits, Emit{Kind: EmitCredits, Port: p, VC: vc, Worm: worm, N: purged})
+	}
+	emits = append(emits, Emit{Kind: EmitKillBwd, Port: p, VC: vc, Worm: worm})
+	releaseIn(v, worm)
+	return emits
+}
+
+// allocateEjection claims a free ejection channel for a worm that has
+// reached its destination.
+func (r *Router) allocateEjection(p, vc int, v *inVC) bool {
+	for e := r.deg; e < len(r.outputs); e++ {
+		o := &r.outputs[e].vcs[0]
+		if o.held {
+			continue
+		}
+		o.held = true
+		o.worm = v.worm
+		o.ownerP, o.ownerV = p, vc
+		v.routed = true
+		v.outP, v.outV = e, 0
+		r.stats.HeadersRouted++
+		return true
+	}
+	return false
+}
+
+// allocateNetwork asks the routing algorithm for candidates and claims
+// the first free one, rotating among equally preferred (non-escape)
+// candidates for load spreading. Escape-channel allocations are counted
+// as potential deadlock situations (PDS).
+func (r *Router) allocateNetwork(p, vc int, v *inVC, head *flit.Flit) bool {
+	inPort := topology.InvalidPort
+	inVCIdx := -1
+	if p < r.deg {
+		inPort = topology.Port(p)
+		inVCIdx = vc
+	}
+	allowMisroute := r.cfg.MisrouteAfter > 0 &&
+		head.Worm.Attempt() >= r.cfg.MisrouteAfter &&
+		int(head.Detours) < r.cfg.MaxDetours
+	req := routing.Request{
+		Topo:          r.topo,
+		Cur:           r.id,
+		Dst:           head.Dst,
+		InPort:        inPort,
+		InVC:          inVCIdx,
+		NumVCs:        r.cfg.VCs,
+		AllowMisroute: allowMisroute,
+		LinkUp:        func(port topology.Port) bool { return r.outputs[port].linkUp },
+	}
+	r.candBuf = r.alg.Route(req, r.candBuf[:0])
+	if len(r.candBuf) == 0 {
+		return false
+	}
+
+	// Pass 1: non-escape candidates, rotated for fairness.
+	free := 0
+	for i := range r.candBuf {
+		c := r.candBuf[i]
+		if !c.Escape && r.candFree(c) {
+			r.candBuf[free] = c
+			free++
+		}
+	}
+	if free > 0 {
+		return r.claim(p, vc, v, head, r.selectCandidate(r.candBuf[:free]))
+	}
+	// Pass 2: escape candidates in preference order.
+	r.candBuf = r.alg.Route(req, r.candBuf[:0])
+	for _, c := range r.candBuf {
+		if c.Escape && r.candFree(c) {
+			return r.claim(p, vc, v, head, c)
+		}
+	}
+	return false
+}
+
+// selectCandidate applies the configured selection policy to a non-empty
+// list of free, equally preferred candidates.
+func (r *Router) selectCandidate(free []routing.Candidate) routing.Candidate {
+	switch r.cfg.Select {
+	case SelectFirst:
+		return free[0]
+	case SelectLeastLoaded:
+		best := free[0]
+		bestCred := r.portCredit(best.Port)
+		for _, c := range free[1:] {
+			if cred := r.portCredit(c.Port); cred > bestCred {
+				best, bestCred = c, cred
+			}
+		}
+		return best
+	default: // SelectRotating
+		r.allocRR++
+		return free[r.allocRR%len(free)]
+	}
+}
+
+// portCredit returns the total downstream credit across a network
+// output port's virtual channels — its "drained-ness".
+func (r *Router) portCredit(p topology.Port) int {
+	total := 0
+	for vc := range r.outputs[p].vcs {
+		total += r.outputs[p].vcs[vc].credit
+	}
+	return total
+}
+
+// candFree reports whether a candidate output VC can be claimed: link
+// alive, not held, and the downstream buffer fully drained (all credits
+// home). The credit condition keeps consecutive worms on one VC from
+// overlapping — the new head must not arrive while the previous worm's
+// tail is still buffered downstream.
+func (r *Router) candFree(c routing.Candidate) bool {
+	out := r.outputs[c.Port]
+	ov := &out.vcs[c.VC]
+	return out.linkUp && !ov.held && ov.credit == r.cfg.BufDepth
+}
+
+func (r *Router) claim(p, vc int, v *inVC, head *flit.Flit, c routing.Candidate) bool {
+	o := &r.outputs[c.Port].vcs[c.VC]
+	o.held = true
+	o.worm = v.worm
+	o.ownerP, o.ownerV = p, vc
+	v.routed = true
+	v.outP, v.outV = int(c.Port), c.VC
+	r.stats.HeadersRouted++
+	if c.Escape {
+		r.stats.PDS++
+	}
+	next, _ := r.topo.Neighbor(r.id, c.Port)
+	if r.topo.Distance(next, head.Dst) >= r.topo.Distance(r.id, head.Dst) {
+		head.Detours++
+		r.stats.Misroutes++
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package router
+
+import "fmt"
+
+// CheckInvariants verifies the router's internal consistency and returns
+// a descriptive error on the first violation. Tests call it between
+// cycles; production runs skip it.
+//
+// Invariants:
+//   - buffer occupancy within [0, BufDepth]
+//   - network output credits within [0, BufDepth]
+//   - every held output VC's owner input VC is active, claims the same
+//     worm, and points back at the output
+//   - every routed input VC's allocated output VC is held by its worm
+//   - inactive input VCs hold no flits and no allocation
+func (r *Router) CheckInvariants() error {
+	for p := range r.inputs {
+		for vc, v := range r.inputs[p] {
+			if v.count < 0 || v.count > r.cfg.BufDepth {
+				return fmt.Errorf("router %d: input (%d,%d) occupancy %d", r.id, p, vc, v.count)
+			}
+			if !v.active {
+				if v.count != 0 {
+					return fmt.Errorf("router %d: inactive input (%d,%d) holds %d flits", r.id, p, vc, v.count)
+				}
+				if v.routed {
+					return fmt.Errorf("router %d: inactive input (%d,%d) holds an allocation", r.id, p, vc)
+				}
+				continue
+			}
+			if v.routed {
+				o := &r.outputs[v.outP].vcs[v.outV]
+				if !o.held || o.worm != v.worm || o.ownerP != p || o.ownerV != vc {
+					return fmt.Errorf("router %d: input (%d,%d) allocation to (%d,%d) inconsistent",
+						r.id, p, vc, v.outP, v.outV)
+				}
+			}
+		}
+	}
+	for p := range r.outputs {
+		out := r.outputs[p]
+		for vc := range out.vcs {
+			o := &out.vcs[vc]
+			if !out.ejection && (o.credit < 0 || o.credit > r.cfg.BufDepth) {
+				return fmt.Errorf("router %d: output (%d,%d) credit %d", r.id, p, vc, o.credit)
+			}
+			if o.held {
+				v := r.inputs[o.ownerP][o.ownerV]
+				if !v.active || v.worm != o.worm || !v.routed || v.outP != p || v.outV != vc {
+					return fmt.Errorf("router %d: output (%d,%d) owner (%d,%d) inconsistent",
+						r.id, p, vc, o.ownerP, o.ownerV)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CreditOf returns the credit count of output (p, vc); used by
+// network-level conservation checks.
+func (r *Router) CreditOf(p, vc int) int { return r.outputs[p].vcs[vc].credit }
+
+// BufferedAt returns the buffered flit count of input (p, vc); used by
+// network-level conservation checks.
+func (r *Router) BufferedAt(p, vc int) int { return r.inputs[p][vc].count }
+
+// InputActive reports whether input (p, vc) hosts a worm.
+func (r *Router) InputActive(p, vc int) bool { return r.inputs[p][vc].active }
+
+// BufferedFlits returns the total number of flits buffered in the
+// router, for network-level conservation checks.
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for p := range r.inputs {
+		for _, v := range r.inputs[p] {
+			n += v.count
+		}
+	}
+	return n
+}
+
+// ActiveWormCount returns how many input VCs currently host a worm.
+func (r *Router) ActiveWormCount() int {
+	n := 0
+	for p := range r.inputs {
+		for _, v := range r.inputs[p] {
+			if v.active {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,363 @@
+// Package router implements the wormhole router at every network node:
+// per-virtual-channel input buffering with credit-based flow control,
+// header routing and virtual-channel allocation, round-robin switch
+// arbitration, and the out-of-band tear-down signalling (forward KILL,
+// backward FKILL) that Compressionless Routing uses to recover from
+// potential deadlocks and faults.
+//
+// The router is driven by the network package in four phases per cycle:
+//
+//  1. AcceptFlit — link arrivals from the previous cycle land in input
+//     buffers (the network applies fault injection first).
+//  2. ApplySignal — out-of-band KILL/FKILL signals scheduled for this
+//     cycle tear down worm state and emit further propagations.
+//  3. RouteAndAllocate — head flits at buffer fronts claim output
+//     virtual channels (or an ejection channel at their destination).
+//  4. Transmit — each output physical channel forwards at most one flit,
+//     consuming a downstream credit; dequeues emit credits upstream.
+//
+// Determinism: all iteration is in fixed port/VC order and arbitration
+// state advances deterministically, so identical inputs give identical
+// simulations.
+package router
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+)
+
+// Selection chooses among the free candidate outputs an adaptive
+// routing function offers — the router's congestion-response policy.
+type Selection uint8
+
+const (
+	// SelectRotating cycles a pointer over the free candidates: cheap,
+	// deterministic load spreading (the default).
+	SelectRotating Selection = iota
+	// SelectFirst always takes the first free candidate in the routing
+	// function's preference order (lowest dimension first): no load
+	// spreading, the weakest policy.
+	SelectFirst
+	// SelectLeastLoaded takes the free candidate on the output port with
+	// the most total downstream credit across its virtual channels — a
+	// congestion-aware policy that steers worms toward drained
+	// directions.
+	SelectLeastLoaded
+)
+
+// String implements fmt.Stringer.
+func (s Selection) String() string {
+	switch s {
+	case SelectRotating:
+		return "rotating"
+	case SelectFirst:
+		return "first"
+	case SelectLeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("Selection(%d)", uint8(s))
+	}
+}
+
+// Config carries the per-router structural parameters.
+type Config struct {
+	// VCs is the number of virtual channels per network input port.
+	VCs int
+	// BufDepth is the flit capacity of each virtual-channel buffer. CR
+	// uses shallow buffers (the paper fixes 2); DOR baselines sweep it.
+	BufDepth int
+	// InjectionChannels is the number of injection ports from the local
+	// node interface (each with a single VC of BufDepth flits).
+	InjectionChannels int
+	// EjectionChannels is the number of ejection ports to the local node
+	// interface, each delivering one flit per cycle.
+	EjectionChannels int
+	// VerifyHeaders makes the router checksum-verify head flits before
+	// routing them, tearing the worm down backward on corruption (FCR's
+	// per-hop header protection).
+	VerifyHeaders bool
+	// RouterTimeout, when positive, enables the paper's "path-wide"
+	// alternative timeout scheme (Section 7): a router whose input VC
+	// holds a header blocked for RouterTimeout cycles tears the worm
+	// down itself (backward to the source, which retransmits). The
+	// paper's chosen design is the source-based timeout; this knob
+	// exists for the ablation showing path-wide schemes kill more and
+	// perform worse.
+	RouterTimeout int
+	// MisrouteAfter, when positive, allows worms on attempt >=
+	// MisrouteAfter to take non-minimal hops around dead links, up to
+	// MaxDetours per worm.
+	MisrouteAfter int
+	// MaxDetours bounds non-minimal hops per worm when misrouting.
+	MaxDetours int
+	// Select chooses among free adaptive candidates (default rotating).
+	Select Selection
+	// Check enables internal invariant verification after every phase;
+	// used by tests.
+	Check bool
+}
+
+func (c Config) validate() error {
+	if c.VCs < 1 {
+		return fmt.Errorf("router: VCs = %d", c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("router: BufDepth = %d", c.BufDepth)
+	}
+	if c.InjectionChannels < 1 || c.EjectionChannels < 1 {
+		return fmt.Errorf("router: need at least one injection and ejection channel, have %d/%d",
+			c.InjectionChannels, c.EjectionChannels)
+	}
+	if c.MisrouteAfter > 0 && c.MaxDetours < 1 {
+		return fmt.Errorf("router: misrouting enabled with MaxDetours = %d", c.MaxDetours)
+	}
+	return nil
+}
+
+// inVC is the state of one input virtual channel: a FIFO of flits plus
+// the worm claim and output allocation.
+type inVC struct {
+	buf   []flit.Flit // circular buffer of cap BufDepth
+	head  int
+	count int
+
+	active bool // a worm has claimed this VC (head arrived, tail not yet passed)
+	worm   flit.WormID
+	routed bool // output allocation held
+	outP   int  // allocated output port
+	outV   int  // allocated output VC
+
+	// purgeWorm absorbs the single straggler flit that can be in flight
+	// when a tear-down purges this VC.
+	purgeWorm  flit.WormID
+	purgeValid bool
+
+	// blocked counts consecutive cycles a header waited for an output;
+	// used only by the path-wide timeout ablation (Config.RouterTimeout).
+	blocked int
+}
+
+func (v *inVC) front() *flit.Flit { return &v.buf[v.head] }
+
+func (v *inVC) push(f flit.Flit) {
+	if v.count == len(v.buf) {
+		panic("router: input VC overflow (credit protocol violated)")
+	}
+	v.buf[(v.head+v.count)%len(v.buf)] = f
+	v.count++
+}
+
+func (v *inVC) pop() flit.Flit {
+	if v.count == 0 {
+		panic("router: pop from empty VC")
+	}
+	f := v.buf[v.head]
+	v.head = (v.head + 1) % len(v.buf)
+	v.count--
+	return f
+}
+
+// outVC is the state of one output virtual channel: the holding worm (if
+// any) and the credit count for the downstream buffer.
+type outVC struct {
+	held   bool
+	worm   flit.WormID
+	ownerP int // input port of the owning worm
+	ownerV int
+	credit int
+}
+
+// output is one output physical channel with its VCs and arbitration
+// pointer.
+type output struct {
+	vcs    []outVC
+	rr     int // round-robin pointer over flattened input VC indices
+	linkUp bool
+	// ejection marks local delivery channels: single VC, no credits,
+	// one flit per cycle.
+	ejection bool
+}
+
+// Stats are the router's event counters, accumulated over a run.
+type Stats struct {
+	FlitsMoved     int64 // flits forwarded through the crossbar
+	HeadersRouted  int64 // successful output allocations
+	PDS            int64 // escape-channel allocations (potential deadlock situations)
+	Misroutes      int64 // non-minimal hops taken
+	KillsFwd       int64 // forward KILL signals processed
+	RouterKills    int64 // path-wide timeout kills initiated by routers
+	KillsBwd       int64 // backward FKILL signals processed
+	StaleSignals   int64 // tear-downs that found no matching worm
+	PurgedFlits    int64 // flits discarded by tear-downs
+	Stragglers     int64 // in-flight flits absorbed after a purge
+	HeaderFaults   int64 // corrupt headers detected (VerifyHeaders)
+	BlockedHeaders int64 // cycles a head flit waited for an output
+}
+
+// Add accumulates other's counters into s.
+func (s *Stats) Add(o Stats) {
+	s.FlitsMoved += o.FlitsMoved
+	s.HeadersRouted += o.HeadersRouted
+	s.PDS += o.PDS
+	s.Misroutes += o.Misroutes
+	s.KillsFwd += o.KillsFwd
+	s.RouterKills += o.RouterKills
+	s.KillsBwd += o.KillsBwd
+	s.StaleSignals += o.StaleSignals
+	s.PurgedFlits += o.PurgedFlits
+	s.Stragglers += o.Stragglers
+	s.HeaderFaults += o.HeaderFaults
+	s.BlockedHeaders += o.BlockedHeaders
+}
+
+// Router is one wormhole router. Construct with New; drive with the
+// phase methods. Routers are not safe for concurrent use — the network's
+// cycle loop is single-threaded by design (determinism).
+type Router struct {
+	id   topology.NodeID
+	topo topology.Topology
+	alg  routing.Algorithm
+	cfg  Config
+	deg  int
+
+	inputs  [][]*inVC // [port][vc]; injection ports have a single VC
+	outputs []*output
+
+	allocRR int // rotation for adaptive candidate selection
+	stats   Stats
+
+	candBuf []routing.Candidate
+	inRefs  []inRef // flattened input VC list for switch arbitration
+}
+
+// New constructs a router for node id of topo using the routing
+// algorithm alg. It panics on invalid configuration (construction-time
+// errors are programming errors).
+func New(id topology.NodeID, topo topology.Topology, alg routing.Algorithm, cfg Config) *Router {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if min := alg.MinVCs(topo); cfg.VCs < min {
+		panic(fmt.Sprintf("router: %s needs %d VCs on %s, config has %d", alg.Name(), min, topo.Name(), cfg.VCs))
+	}
+	deg := topo.Degree()
+	r := &Router{id: id, topo: topo, alg: alg, cfg: cfg, deg: deg}
+	r.inputs = make([][]*inVC, deg+cfg.InjectionChannels)
+	for p := range r.inputs {
+		n := cfg.VCs
+		if p >= deg {
+			n = 1 // injection ports carry one worm at a time
+		}
+		vcs := make([]*inVC, n)
+		for v := range vcs {
+			vcs[v] = &inVC{buf: make([]flit.Flit, cfg.BufDepth), outP: -1, outV: -1}
+		}
+		r.inputs[p] = vcs
+	}
+	r.outputs = make([]*output, deg+cfg.EjectionChannels)
+	for p := range r.outputs {
+		o := &output{linkUp: true}
+		if p >= deg {
+			o.ejection = true
+			o.vcs = []outVC{{credit: 1 << 30}}
+		} else {
+			o.vcs = make([]outVC, cfg.VCs)
+			for v := range o.vcs {
+				o.vcs[v].credit = cfg.BufDepth
+			}
+			if _, ok := topo.Neighbor(id, topology.Port(p)); !ok {
+				o.linkUp = false // unconnected mesh edge
+			}
+		}
+		r.outputs[p] = o
+	}
+	return r
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() topology.NodeID { return r.id }
+
+// Stats returns a copy of the router's counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Degree returns the number of network ports.
+func (r *Router) Degree() int { return r.deg }
+
+// InjPort returns the input port index of injection channel ch.
+func (r *Router) InjPort(ch int) int { return r.deg + ch }
+
+// EjPort returns the output port index of ejection channel ch.
+func (r *Router) EjPort(ch int) int { return r.deg + ch }
+
+// IsEjection reports whether output port p is an ejection channel.
+func (r *Router) IsEjection(p int) bool { return p >= r.deg }
+
+// LinkUp reports whether the outgoing link on network port p is alive.
+func (r *Router) LinkUp(p int) bool { return r.outputs[p].linkUp }
+
+// SetLinkDown marks the outgoing link on network port p dead. Worm
+// tear-down for the link's victims is driven by the network via
+// HeldWorms/ActiveWorms and ApplySignal.
+func (r *Router) SetLinkDown(p int) { r.outputs[p].linkUp = false }
+
+// InjectionFree returns the free buffer slots of injection channel ch.
+func (r *Router) InjectionFree(ch int) int {
+	v := r.inputs[r.InjPort(ch)][0]
+	return r.cfg.BufDepth - v.count
+}
+
+// InjectionReady reports whether injection channel ch is idle and empty,
+// so a new worm's head flit may be injected.
+func (r *Router) InjectionReady(ch int) bool {
+	v := r.inputs[r.InjPort(ch)][0]
+	return !v.active && v.count == 0
+}
+
+// Inject places a flit into injection channel ch's buffer. The caller
+// (the NIC injector) must have checked InjectionFree. A head flit claims
+// the channel for its worm.
+func (r *Router) Inject(ch int, f flit.Flit) {
+	v := r.inputs[r.InjPort(ch)][0]
+	if f.Kind == flit.Head {
+		if v.active {
+			panic(fmt.Sprintf("router %d: injected head into busy channel %d", r.id, ch))
+		}
+		v.active = true
+		v.worm = f.Worm
+		v.purgeValid = false
+		v.blocked = 0
+	} else if !v.active || v.worm != f.Worm {
+		panic(fmt.Sprintf("router %d: injected body flit of worm %d into channel owned by %d", r.id, f.Worm, v.worm))
+	}
+	v.push(f)
+}
+
+// AcceptFlit delivers a flit arriving over the incoming link of network
+// input port p on virtual channel vc. It returns true if the flit was
+// absorbed as a tear-down straggler (the network then refunds the
+// upstream credit as if the flit had been consumed).
+func (r *Router) AcceptFlit(p, vc int, f flit.Flit) bool {
+	v := r.inputs[p][vc]
+	if v.purgeValid && v.purgeWorm == f.Worm {
+		r.stats.Stragglers++
+		return true
+	}
+	if f.Kind == flit.Head {
+		if v.active {
+			panic(fmt.Sprintf("router %d: head of worm %d arrived on busy VC (%d,%d) owned by %d",
+				r.id, f.Worm, p, vc, v.worm))
+		}
+		v.active = true
+		v.worm = f.Worm
+		v.routed = false
+		v.purgeValid = false
+		v.blocked = 0
+	} else if r.cfg.Check && (!v.active || v.worm != f.Worm) {
+		panic(fmt.Sprintf("router %d: body flit %v arrived on VC (%d,%d) not owned by its worm", r.id, f, p, vc))
+	}
+	v.push(f)
+	return false
+}

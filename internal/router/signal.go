@@ -1,0 +1,197 @@
+package router
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+)
+
+// SignalKind distinguishes the two out-of-band tear-down signals.
+type SignalKind uint8
+
+const (
+	// KillFwd tears a worm down from the source side: it arrives at the
+	// input virtual channel the worm occupies and propagates along the
+	// worm's allocation chain toward its header.
+	KillFwd SignalKind = iota
+	// KillBwd (the paper's FKILL) tears a worm down from the destination
+	// side: it arrives at the output virtual channel the worm holds and
+	// propagates toward the source, which then retransmits.
+	KillBwd
+)
+
+// String implements fmt.Stringer.
+func (k SignalKind) String() string {
+	if k == KillFwd {
+		return "KILL"
+	}
+	return "FKILL"
+}
+
+// Signal is one tear-down event addressed to this router. For KillFwd,
+// Port/VC name an input virtual channel; for KillBwd an output one.
+type Signal struct {
+	Kind SignalKind
+	Port int
+	VC   int
+	Worm flit.WormID
+}
+
+// EmitKind classifies router outputs the network must deliver.
+type EmitKind uint8
+
+const (
+	// EmitKillFwd propagates a forward kill over output Port/VC. On a
+	// network port the network schedules KillFwd at the downstream
+	// router next cycle; on an ejection port it tells the local receiver
+	// to discard the partial worm.
+	EmitKillFwd EmitKind = iota
+	// EmitKillBwd propagates a backward kill over input Port/VC. On a
+	// network port the network schedules KillBwd at the upstream router
+	// next cycle; on an injection port it tells the local injector the
+	// worm was FKILLed (retransmit).
+	EmitKillBwd
+	// EmitCredits refunds N buffer credits to the upstream output feeding
+	// input Port/VC; emitted when a purge discards buffered flits.
+	EmitCredits
+)
+
+// Emit is one side effect of a tear-down for the network to deliver.
+type Emit struct {
+	Kind EmitKind
+	Port int
+	VC   int
+	Worm flit.WormID
+	N    int // credits, for EmitCredits
+}
+
+// purge discards every buffered flit of v and returns the count.
+func (r *Router) purge(v *inVC) int {
+	n := v.count
+	v.head = 0
+	v.count = 0
+	r.stats.PurgedFlits += int64(n)
+	return n
+}
+
+// releaseIn resets an input VC after tear-down, arming the straggler
+// absorber for the dead worm.
+func releaseIn(v *inVC, worm flit.WormID) {
+	v.active = false
+	v.routed = false
+	v.outP, v.outV = -1, -1
+	v.purgeWorm = worm
+	v.purgeValid = true
+	v.blocked = 0
+}
+
+// ApplySignal processes one tear-down signal and returns the emissions
+// the network must deliver (further propagation and credit refunds).
+func (r *Router) ApplySignal(s Signal, emits []Emit) []Emit {
+	switch s.Kind {
+	case KillFwd:
+		return r.applyKillFwd(s, emits)
+	case KillBwd:
+		return r.applyKillBwd(s, emits)
+	default:
+		panic(fmt.Sprintf("router: unknown signal kind %d", s.Kind))
+	}
+}
+
+func (r *Router) applyKillFwd(s Signal, emits []Emit) []Emit {
+	v := r.inputs[s.Port][s.VC]
+	if !v.active || v.worm != s.Worm {
+		// The worm is already gone (e.g. torn down by a dead-link sweep
+		// racing the kill). Arm the absorber and drop the signal.
+		r.stats.StaleSignals++
+		v.purgeWorm = s.Worm
+		v.purgeValid = true
+		return emits
+	}
+	r.stats.KillsFwd++
+	if purged := r.purge(v); purged > 0 && s.Port < r.deg {
+		emits = append(emits, Emit{Kind: EmitCredits, Port: s.Port, VC: s.VC, Worm: s.Worm, N: purged})
+	}
+	if v.routed {
+		o := &r.outputs[v.outP].vcs[v.outV]
+		if r.cfg.Check && (!o.held || o.worm != s.Worm) {
+			panic(fmt.Sprintf("router %d: forward kill found inconsistent allocation", r.id))
+		}
+		o.held = false
+		emits = append(emits, Emit{Kind: EmitKillFwd, Port: v.outP, VC: v.outV, Worm: s.Worm})
+	}
+	releaseIn(v, s.Worm)
+	return emits
+}
+
+func (r *Router) applyKillBwd(s Signal, emits []Emit) []Emit {
+	o := &r.outputs[s.Port].vcs[s.VC]
+	if !o.held || o.worm != s.Worm {
+		// The worm's tail already passed here (possible only if the
+		// protocol's padding bound was violated) or the worm was torn
+		// down by another mechanism. Count it; FCR tests assert zero.
+		r.stats.StaleSignals++
+		return emits
+	}
+	r.stats.KillsBwd++
+	v := r.inputs[o.ownerP][o.ownerV]
+	if r.cfg.Check && (!v.active || v.worm != s.Worm) {
+		panic(fmt.Sprintf("router %d: backward kill found inconsistent ownership", r.id))
+	}
+	if purged := r.purge(v); purged > 0 && o.ownerP < r.deg {
+		emits = append(emits, Emit{Kind: EmitCredits, Port: o.ownerP, VC: o.ownerV, Worm: s.Worm, N: purged})
+	}
+	o.held = false
+	emits = append(emits, Emit{Kind: EmitKillBwd, Port: o.ownerP, VC: o.ownerV, Worm: s.Worm})
+	releaseIn(v, s.Worm)
+	return emits
+}
+
+// WormAt describes a worm occupying a channel, for dead-link sweeps.
+type WormAt struct {
+	VC   int
+	Worm flit.WormID
+}
+
+// HeldWorms returns the worms holding output virtual channels of network
+// port p. When the link on p dies, the network tears each down backward
+// (KillBwd at this router) so their sources retransmit on another path.
+func (r *Router) HeldWorms(p int, buf []WormAt) []WormAt {
+	for vc := range r.outputs[p].vcs {
+		o := &r.outputs[p].vcs[vc]
+		if o.held {
+			buf = append(buf, WormAt{VC: vc, Worm: o.worm})
+		}
+	}
+	return buf
+}
+
+// ActiveWorms returns the worms occupying input virtual channels of
+// network port p. When the upstream link dies, the network tears each
+// down forward (KillFwd at this router) to reclaim the orphaned
+// downstream fragment.
+func (r *Router) ActiveWorms(p int, buf []WormAt) []WormAt {
+	for vc := range r.inputs[p] {
+		v := r.inputs[p][vc]
+		if v.active {
+			buf = append(buf, WormAt{VC: vc, Worm: v.worm})
+		}
+	}
+	return buf
+}
+
+// Credit refunds one downstream buffer credit to output port p, VC vc.
+func (r *Router) Credit(p, vc int) {
+	o := &r.outputs[p].vcs[vc]
+	o.credit++
+	if r.cfg.Check && !r.outputs[p].ejection && o.credit > r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: credit overflow on output (%d,%d)", r.id, p, vc))
+	}
+}
+
+// CreditN refunds n credits at once (purge refunds).
+func (r *Router) CreditN(p, vc, n int) {
+	for i := 0; i < n; i++ {
+		r.Credit(p, vc)
+	}
+}

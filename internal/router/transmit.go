@@ -1,0 +1,76 @@
+package router
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+)
+
+// inRef locates one input virtual channel for arbitration.
+type inRef struct {
+	p, vc int
+	v     *inVC
+}
+
+// allInputs returns (building lazily) the flattened input VC list used
+// by switch arbitration.
+func (r *Router) allInputs() []inRef {
+	if r.inRefs == nil {
+		for p := range r.inputs {
+			for vc := range r.inputs[p] {
+				r.inRefs = append(r.inRefs, inRef{p: p, vc: vc, v: r.inputs[p][vc]})
+			}
+		}
+	}
+	return r.inRefs
+}
+
+// Transmit forwards at most one flit per output channel. For each flit
+// moved, moveFlit is called with the output port/VC (the network places
+// it on the link, or hands it to the local receiver for ejection ports)
+// and creditFlit is called with the input port/VC it left (the network
+// refunds the upstream credit; injection ports are skipped since the
+// injector reads buffer occupancy directly).
+func (r *Router) Transmit(moveFlit func(outPort, outVC int, f flit.Flit), creditFlit func(inPort, inVC int)) {
+	refs := r.allInputs()
+	for op := range r.outputs {
+		out := r.outputs[op]
+		if !out.ejection && !out.linkUp {
+			continue // dead or unconnected link transmits nothing
+		}
+		n := len(refs)
+		for i := 0; i < n; i++ {
+			ref := refs[(out.rr+i)%n]
+			v := ref.v
+			if !v.active || !v.routed || v.outP != op || v.count == 0 {
+				continue
+			}
+			ov := &out.vcs[v.outV]
+			if !out.ejection && ov.credit == 0 {
+				continue
+			}
+			// Winner: move one flit.
+			out.rr = (out.rr + i + 1) % n
+			f := v.pop()
+			if !out.ejection {
+				ov.credit--
+			}
+			r.stats.FlitsMoved++
+			outVC := v.outV
+			if f.Tail {
+				if r.cfg.Check && (!ov.held || ov.worm != f.Worm) {
+					panic(fmt.Sprintf("router %d: tail of worm %d leaving unheld output", r.id, f.Worm))
+				}
+				ov.held = false
+				v.active = false
+				v.routed = false
+				v.outP, v.outV = -1, -1
+			}
+			if ref.p < r.deg {
+				creditFlit(ref.p, ref.vc)
+			}
+			moveFlit(op, outVC, f)
+			break
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package routing implements the routing algorithms evaluated in the
+// Compressionless Routing paper:
+//
+//   - DOR: deterministic dimension-order (e-cube) routing, with the
+//     Dally-Seitz two-class virtual-channel discipline on torus wraparound
+//     rings and optional extra virtual lanes — the paper's baseline.
+//   - MinimalAdaptive: fully adaptive minimal routing with no virtual
+//     channel restrictions — the routing freedom CR grants, relying on the
+//     CR kill/retry protocol (not the routing function) for deadlock
+//     freedom.
+//   - Duato: minimal adaptive routing over an adaptive virtual-channel
+//     class plus a DOR-routed escape class; used to estimate how often
+//     potential deadlock situations (PDS) arise, exactly as the paper's
+//     Section 6 does.
+//
+// A routing algorithm maps a Request (where am I, where is the worm going,
+// how did it arrive) to an ordered list of Candidates (output port +
+// virtual channel). The router allocates the first free candidate; order
+// therefore encodes preference, and adaptivity comes from offering many
+// candidates.
+package routing
+
+import (
+	"fmt"
+
+	"crnet/internal/topology"
+)
+
+// Candidate is one legal output assignment for a worm's header.
+type Candidate struct {
+	Port topology.Port
+	VC   int
+	// Escape marks dimension-order escape channels in Duato's scheme;
+	// the router counts allocations of escape candidates as potential
+	// deadlock situations (PDS).
+	Escape bool
+}
+
+// Request carries everything an algorithm may consult when routing a
+// header flit.
+type Request struct {
+	Topo topology.Topology
+	Cur  topology.NodeID
+	Dst  topology.NodeID
+
+	// InPort is the port the worm arrived on (the reverse channel's port
+	// at Cur), or topology.InvalidPort when the worm is being injected.
+	InPort topology.Port
+
+	// InVC is the virtual channel the worm arrived on, or -1 when the
+	// worm is being injected. Class-structured algorithms (Duato) use it
+	// to keep worms that entered the escape class inside it.
+	InVC int
+
+	// NumVCs is the number of virtual channels per physical channel in
+	// this network.
+	NumVCs int
+
+	// AllowMisroute permits non-minimal candidates when every minimal
+	// port is unusable (dead link). CR sets it on late retransmission
+	// attempts to route around permanent faults.
+	AllowMisroute bool
+
+	// LinkUp reports whether the outgoing link of Cur on a port is
+	// operational. A nil LinkUp means all links are up.
+	LinkUp func(topology.Port) bool
+}
+
+func (r Request) linkUp(p topology.Port) bool {
+	if _, ok := r.Topo.Neighbor(r.Cur, p); !ok {
+		return false
+	}
+	return r.LinkUp == nil || r.LinkUp(p)
+}
+
+// Algorithm produces candidate outputs for a header flit.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+
+	// MinVCs returns the smallest number of virtual channels per physical
+	// channel the algorithm needs for correct (deadlock-free where the
+	// algorithm promises it) operation on topo.
+	MinVCs(topo topology.Topology) int
+
+	// Route appends candidates for the request to buf in preference
+	// order and returns the extended slice. An empty result at
+	// Cur != Dst means the worm cannot advance (all ports dead and
+	// misrouting not allowed); the CR injector will eventually kill and
+	// retry it.
+	Route(req Request, buf []Candidate) []Candidate
+}
+
+// torusClass returns the Dally-Seitz virtual-channel class (0 or 1) for
+// travel on port p of a torus at coordinate cur toward coordinate dst in
+// p's dimension. Class changes exactly when the ring's wraparound channel
+// is crossed, which breaks the ring's channel-dependency cycle.
+func torusClass(cur, dst int, plus bool) int {
+	if plus {
+		if cur < dst {
+			return 0
+		}
+		return 1
+	}
+	if cur > dst {
+		return 0
+	}
+	return 1
+}
+
+// dorPort returns the single dimension-order port for cur->dst on a grid,
+// and the VC class to use on it (always 0 on meshes). ok is false when
+// cur == dst.
+func dorPort(g *topology.Grid, cur, dst topology.NodeID) (p topology.Port, class int, ok bool) {
+	for d := 0; d < g.Dims(); d++ {
+		cc, dc := g.Coord(cur, d), g.Coord(dst, d)
+		if cc == dc {
+			continue
+		}
+		var plus bool
+		if g.Wrap() {
+			fwd := dc - cc
+			if fwd < 0 {
+				fwd += g.Radix()
+			}
+			bwd := g.Radix() - fwd
+			// Deterministic tie-break: equidistant goes +.
+			plus = fwd <= bwd
+			return topology.PortFor(d, plus), torusClass(cc, dc, plus), true
+		}
+		plus = dc > cc
+		return topology.PortFor(d, plus), 0, true
+	}
+	return topology.InvalidPort, 0, false
+}
+
+// DOR is deterministic dimension-order routing. On tori each virtual lane
+// is split into the two Dally-Seitz dateline classes, so a torus needs
+// 2*Lanes virtual channels and a mesh or hypercube needs Lanes.
+//
+// Lanes > 1 reproduces the paper's "additional virtual channels used as
+// virtual lanes" DOR configurations (Fig. 14(c),(d)): the path is fixed,
+// but a header may claim any free lane.
+type DOR struct {
+	// Lanes is the number of virtual lanes; 0 means 1.
+	Lanes int
+}
+
+func (d DOR) lanes() int {
+	if d.Lanes <= 0 {
+		return 1
+	}
+	return d.Lanes
+}
+
+// Name implements Algorithm.
+func (d DOR) Name() string { return fmt.Sprintf("DOR(lanes=%d)", d.lanes()) }
+
+// MinVCs implements Algorithm.
+func (d DOR) MinVCs(topo topology.Topology) int {
+	if needsDateline(topo) {
+		return 2 * d.lanes()
+	}
+	return d.lanes()
+}
+
+func needsDateline(topo topology.Topology) bool {
+	g, ok := topo.(*topology.Grid)
+	return ok && g.Wrap() && g.Radix() > 2
+}
+
+// Route implements Algorithm.
+func (d DOR) Route(req Request, buf []Candidate) []Candidate {
+	switch topo := req.Topo.(type) {
+	case *topology.Grid:
+		p, class, ok := dorPort(topo, req.Cur, req.Dst)
+		if !ok || !req.linkUp(p) {
+			return buf
+		}
+		lanes := d.lanes()
+		if !needsDateline(topo) {
+			for lane := 0; lane < lanes && lane < req.NumVCs; lane++ {
+				buf = append(buf, Candidate{Port: p, VC: lane})
+			}
+			return buf
+		}
+		for lane := 0; lane < lanes; lane++ {
+			vc := lane*2 + class
+			if vc < req.NumVCs {
+				buf = append(buf, Candidate{Port: p, VC: vc})
+			}
+		}
+		return buf
+	case *topology.Hypercube:
+		// e-cube on the hypercube: correct lowest differing dimension.
+		diff := uint32(req.Cur ^ req.Dst)
+		for dim := 0; diff != 0; dim++ {
+			if diff&1 != 0 {
+				p := topology.Port(dim)
+				if req.linkUp(p) {
+					for lane := 0; lane < d.lanes() && lane < req.NumVCs; lane++ {
+						buf = append(buf, Candidate{Port: p, VC: lane})
+					}
+				}
+				return buf
+			}
+			diff >>= 1
+		}
+		return buf
+	default:
+		panic(fmt.Sprintf("routing: DOR does not support topology %T", req.Topo))
+	}
+}
+
+// MinimalAdaptive is the fully adaptive minimal routing function used by
+// CR and FCR: any minimal port, any virtual channel. It provides no
+// deadlock freedom of its own; CR's source-timeout kill/retry protocol
+// supplies it, which is the paper's central point. With AllowMisroute it
+// additionally offers live non-minimal ports (never the arrival port)
+// when every minimal port's link is dead, enabling routing around
+// permanent faults.
+type MinimalAdaptive struct{}
+
+// Name implements Algorithm.
+func (MinimalAdaptive) Name() string { return "minimal-adaptive" }
+
+// MinVCs implements Algorithm: CR needs no virtual channels at all.
+func (MinimalAdaptive) MinVCs(topology.Topology) int { return 1 }
+
+// Route implements Algorithm.
+func (MinimalAdaptive) Route(req Request, buf []Candidate) []Candidate {
+	var ports [32]topology.Port
+	minimal := req.Topo.MinimalPorts(req.Cur, req.Dst, ports[:0])
+	anyLive := false
+	for _, p := range minimal {
+		if !req.linkUp(p) {
+			continue
+		}
+		anyLive = true
+		for vc := 0; vc < req.NumVCs; vc++ {
+			buf = append(buf, Candidate{Port: p, VC: vc})
+		}
+	}
+	if anyLive || !req.AllowMisroute {
+		return buf
+	}
+	// All minimal links are dead: offer every other live port except the
+	// one the worm arrived on (to avoid a trivial bounce).
+	for p := topology.Port(0); int(p) < req.Topo.Degree(); p++ {
+		if p == req.InPort || !req.linkUp(p) {
+			continue
+		}
+		if isMinimal(minimal, p) {
+			continue
+		}
+		for vc := 0; vc < req.NumVCs; vc++ {
+			buf = append(buf, Candidate{Port: p, VC: vc})
+		}
+	}
+	return buf
+}
+
+func isMinimal(minimal []topology.Port, p topology.Port) bool {
+	for _, m := range minimal {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Duato implements Duato-style deadlock-free adaptive routing: virtual
+// channels 2..NumVCs-1 form an unrestricted minimal-adaptive class, and
+// channels 0,1 form a dimension-order escape class with the dateline
+// discipline. A worm that arrives on an escape channel stays in the
+// escape class (the conservative variant of Duato's condition), so the
+// escape network alone is deadlock-free and the whole network is.
+//
+// The paper uses this algorithm to estimate how often potential deadlock
+// situations occur: every allocation of an escape candidate is one PDS.
+type Duato struct {
+	// AdaptiveVCs is the number of adaptive-class virtual channels; 0
+	// means 1. Total VCs = AdaptiveVCs + 2 (escape).
+	AdaptiveVCs int
+}
+
+func (du Duato) adaptive() int {
+	if du.AdaptiveVCs <= 0 {
+		return 1
+	}
+	return du.AdaptiveVCs
+}
+
+// EscapeVCs is the number of virtual channels reserved for the escape
+// class in Duato routing (the two dateline classes).
+const EscapeVCs = 2
+
+// Name implements Algorithm.
+func (du Duato) Name() string { return fmt.Sprintf("duato(adaptive=%d)", du.adaptive()) }
+
+// MinVCs implements Algorithm.
+func (du Duato) MinVCs(topology.Topology) int { return du.adaptive() + EscapeVCs }
+
+// InEscapeClass reports whether vc is an escape-class channel.
+func InEscapeClass(vc int) bool { return vc < EscapeVCs }
+
+// Route implements Algorithm. Once a worm has entered the escape class
+// (it arrived on an escape channel), it receives only escape candidates.
+func (du Duato) Route(req Request, buf []Candidate) []Candidate {
+	g, ok := req.Topo.(*topology.Grid)
+	if !ok {
+		panic(fmt.Sprintf("routing: Duato supports grids only, got %T", req.Topo))
+	}
+	inEscape := req.InVC >= 0 && InEscapeClass(req.InVC) && req.InPort != topology.InvalidPort
+	if !inEscape {
+		var ports [32]topology.Port
+		minimal := g.MinimalPorts(req.Cur, req.Dst, ports[:0])
+		for _, p := range minimal {
+			if !req.linkUp(p) {
+				continue
+			}
+			for vc := EscapeVCs; vc < req.NumVCs; vc++ {
+				buf = append(buf, Candidate{Port: p, VC: vc})
+			}
+		}
+	}
+	// Escape candidate: dimension-order with dateline class.
+	p, class, ok := dorPort(g, req.Cur, req.Dst)
+	if ok && req.linkUp(p) && class < req.NumVCs {
+		buf = append(buf, Candidate{Port: p, VC: class, Escape: true})
+	}
+	return buf
+}
+
+// Compile-time interface checks.
+var (
+	_ Algorithm = DOR{}
+	_ Algorithm = MinimalAdaptive{}
+	_ Algorithm = Duato{}
+)

@@ -1,0 +1,401 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crnet/internal/topology"
+)
+
+func req(topo topology.Topology, cur, dst topology.NodeID, vcs int) Request {
+	return Request{Topo: topo, Cur: cur, Dst: dst, InPort: topology.InvalidPort, InVC: -1, NumVCs: vcs}
+}
+
+// followDOR walks a worm from src to dst using the first candidate at
+// each hop and returns the visited nodes (including endpoints).
+func followDOR(t *testing.T, alg Algorithm, topo topology.Topology, src, dst topology.NodeID, vcs int) []topology.NodeID {
+	t.Helper()
+	path := []topology.NodeID{src}
+	cur := src
+	inPort, inVC := topology.InvalidPort, -1
+	for cur != dst {
+		cands := alg.Route(Request{Topo: topo, Cur: cur, Dst: dst, InPort: inPort, InVC: inVC, NumVCs: vcs}, nil)
+		if len(cands) == 0 {
+			t.Fatalf("%s: no candidate at %d toward %d", alg.Name(), cur, dst)
+		}
+		c := cands[0]
+		next, ok := topo.Neighbor(cur, c.Port)
+		if !ok {
+			t.Fatalf("%s: candidate port %d unconnected at %d", alg.Name(), c.Port, cur)
+		}
+		inPort = topo.ReversePort(cur, c.Port)
+		inVC = c.VC
+		cur = next
+		path = append(path, cur)
+		if len(path) > topo.Nodes() {
+			t.Fatalf("%s: path from %d to %d does not terminate", alg.Name(), src, dst)
+		}
+	}
+	return path
+}
+
+func TestDORPathLengthIsDistance(t *testing.T) {
+	topos := []topology.Topology{
+		topology.NewTorus(8, 2),
+		topology.NewTorus(5, 2),
+		topology.NewMesh(6, 2),
+		topology.NewTorus(4, 3),
+		topology.NewHypercube(5),
+	}
+	alg := DOR{}
+	for _, topo := range topos {
+		vcs := alg.MinVCs(topo)
+		n := topo.Nodes()
+		step := 1
+		if n > 64 {
+			step = n / 64
+		}
+		for a := 0; a < n; a += step {
+			for b := 0; b < n; b += step {
+				if a == b {
+					continue
+				}
+				path := followDOR(t, alg, topo, topology.NodeID(a), topology.NodeID(b), vcs)
+				if got, want := len(path)-1, topo.Distance(topology.NodeID(a), topology.NodeID(b)); got != want {
+					t.Fatalf("%s: DOR path %d->%d has %d hops, want %d", topo.Name(), a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDORIsDeterministicSinglePort(t *testing.T) {
+	topo := topology.NewTorus(8, 2)
+	alg := DOR{}
+	vcs := alg.MinVCs(topo)
+	cands := alg.Route(req(topo, 3, 42, vcs), nil)
+	port := cands[0].Port
+	for _, c := range cands {
+		if c.Port != port {
+			t.Fatalf("DOR offered two ports: %d and %d", port, c.Port)
+		}
+	}
+}
+
+func TestDORLanesProduceOneCandidatePerLane(t *testing.T) {
+	topo := topology.NewTorus(8, 2)
+	alg := DOR{Lanes: 4}
+	vcs := alg.MinVCs(topo) // 8
+	if vcs != 8 {
+		t.Fatalf("MinVCs = %d, want 8", vcs)
+	}
+	cands := alg.Route(req(topo, 0, 3, vcs), nil)
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates, want 4 (one per lane)", len(cands))
+	}
+	// All candidates share the dateline class (same parity).
+	for _, c := range cands {
+		if c.VC%2 != cands[0].VC%2 {
+			t.Fatalf("lane candidates mix dateline classes: %v", cands)
+		}
+	}
+}
+
+// The Dally-Seitz rule: the VC class changes exactly when the worm
+// crosses the wraparound channel, and class-0 usage never includes a
+// wrap channel.
+func TestDORDatelineClassFlipsAtWrap(t *testing.T) {
+	g := topology.NewTorus(8, 1)
+	alg := DOR{}
+	vcs := alg.MinVCs(g)
+	// 6 -> 2 going + crosses the wrap channel 7->0.
+	cur := topology.NodeID(6)
+	dst := topology.NodeID(2)
+	inPort, inVC := topology.InvalidPort, -1
+	sawWrapOnClass0 := false
+	classes := []int{}
+	for cur != dst {
+		c := alg.Route(Request{Topo: g, Cur: cur, Dst: dst, InPort: inPort, InVC: inVC, NumVCs: vcs}, nil)[0]
+		classes = append(classes, c.VC)
+		if g.CrossesDateline(cur, c.Port) && c.VC == 0 {
+			sawWrapOnClass0 = true
+		}
+		next, _ := g.Neighbor(cur, c.Port)
+		inPort = g.ReversePort(cur, c.Port)
+		inVC = c.VC
+		cur = next
+	}
+	if sawWrapOnClass0 {
+		t.Fatal("wraparound channel used with class 0")
+	}
+	// Expect class 1 before the wrap (6,7) and class 0 after (0,1).
+	want := []int{1, 1, 0, 0}
+	if len(classes) != len(want) {
+		t.Fatalf("path classes %v, want %v", classes, want)
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("path classes %v, want %v", classes, want)
+		}
+	}
+}
+
+// Acyclicity check for DOR+dateline on a torus ring: build the channel
+// dependency graph over all (channel, class) pairs induced by all
+// source/destination pairs and verify it has no cycle.
+func TestDORChannelDependencyGraphAcyclic(t *testing.T) {
+	for _, k := range []int{4, 5, 8} {
+		g := topology.NewTorus(k, 1)
+		alg := DOR{}
+		vcs := alg.MinVCs(g)
+		type chvc struct {
+			node topology.NodeID
+			port topology.Port
+			vc   int
+		}
+		index := map[chvc]int{}
+		id := func(c chvc) int {
+			if v, ok := index[c]; ok {
+				return v
+			}
+			index[c] = len(index)
+			return index[c]
+		}
+		edges := map[int]map[int]bool{}
+		addEdge := func(a, b int) {
+			if edges[a] == nil {
+				edges[a] = map[int]bool{}
+			}
+			edges[a][b] = true
+		}
+		for s := 0; s < k; s++ {
+			for d := 0; d < k; d++ {
+				if s == d {
+					continue
+				}
+				cur := topology.NodeID(s)
+				inPort, inVC := topology.InvalidPort, -1
+				var prev *chvc
+				for cur != topology.NodeID(d) {
+					c := alg.Route(Request{Topo: g, Cur: cur, Dst: topology.NodeID(d), InPort: inPort, InVC: inVC, NumVCs: vcs}, nil)[0]
+					cv := chvc{cur, c.Port, c.VC}
+					if prev != nil {
+						addEdge(id(*prev), id(cv))
+					}
+					prev = &cv
+					next, _ := g.Neighbor(cur, c.Port)
+					inPort = g.ReversePort(cur, c.Port)
+					inVC = c.VC
+					cur = next
+				}
+			}
+		}
+		// DFS cycle detection.
+		const (
+			white = 0
+			gray  = 1
+			black = 2
+		)
+		color := make([]int, len(index))
+		var visit func(v int) bool
+		visit = func(v int) bool {
+			color[v] = gray
+			for w := range edges[v] {
+				if color[w] == gray {
+					return false
+				}
+				if color[w] == white && !visit(w) {
+					return false
+				}
+			}
+			color[v] = black
+			return true
+		}
+		for v := range color {
+			if color[v] == white && !visit(v) {
+				t.Fatalf("k=%d: channel dependency cycle found", k)
+			}
+		}
+	}
+}
+
+func TestMinimalAdaptiveCandidatesAreMinimalAndCoverAllVCs(t *testing.T) {
+	topo := topology.NewTorus(8, 2)
+	alg := MinimalAdaptive{}
+	const vcs = 3
+	f := func(aRaw, bRaw uint16) bool {
+		a := topology.NodeID(int(aRaw) % topo.Nodes())
+		b := topology.NodeID(int(bRaw) % topo.Nodes())
+		cands := alg.Route(req(topo, a, b, vcs), nil)
+		if a == b {
+			return len(cands) == 0
+		}
+		d := topo.Distance(a, b)
+		ports := map[topology.Port]int{}
+		for _, c := range cands {
+			next, ok := topo.Neighbor(a, c.Port)
+			if !ok || topo.Distance(next, b) != d-1 {
+				return false
+			}
+			if c.VC < 0 || c.VC >= vcs || c.Escape {
+				return false
+			}
+			ports[c.Port]++
+		}
+		for _, n := range ports {
+			if n != vcs {
+				return false
+			}
+		}
+		return len(ports) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalAdaptiveOffersMultiplePortsOffDiagonal(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg := MinimalAdaptive{}
+	cands := alg.Route(req(g, g.Node(0, 0), g.Node(3, 3), 1), nil)
+	ports := map[topology.Port]bool{}
+	for _, c := range cands {
+		ports[c.Port] = true
+	}
+	if len(ports) != 2 {
+		t.Fatalf("expected 2 productive ports toward (3,3), got %v", ports)
+	}
+}
+
+func TestMinimalAdaptiveDeadLinkFiltering(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg := MinimalAdaptive{}
+	deadPort := topology.PortFor(0, true) // +x dead
+	r := req(g, g.Node(0, 0), g.Node(3, 3), 1)
+	r.LinkUp = func(p topology.Port) bool { return p != deadPort }
+	cands := alg.Route(r, nil)
+	if len(cands) != 1 || cands[0].Port != topology.PortFor(1, true) {
+		t.Fatalf("expected only +y candidate, got %v", cands)
+	}
+}
+
+func TestMinimalAdaptiveMisrouteOnlyWhenAllMinimalDead(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg := MinimalAdaptive{}
+	// Destination straight +x; kill the +x link.
+	r := req(g, g.Node(0, 0), g.Node(2, 0), 1)
+	r.AllowMisroute = true
+	r.LinkUp = func(p topology.Port) bool { return p != topology.PortFor(0, true) }
+	cands := alg.Route(r, nil)
+	if len(cands) == 0 {
+		t.Fatal("misrouting produced no candidates")
+	}
+	for _, c := range cands {
+		if c.Port == topology.PortFor(0, true) {
+			t.Fatal("dead link offered")
+		}
+	}
+	// Without AllowMisroute the same situation must yield nothing.
+	r.AllowMisroute = false
+	if cands := alg.Route(r, nil); len(cands) != 0 {
+		t.Fatalf("expected no candidates without misroute, got %v", cands)
+	}
+	// Misroute must never offer the arrival port back.
+	r.AllowMisroute = true
+	r.InPort = topology.PortFor(1, false)
+	for _, c := range alg.Route(r, nil) {
+		if c.Port == r.InPort {
+			t.Fatal("misroute offered the arrival port")
+		}
+	}
+}
+
+func TestDuatoCandidateStructure(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg := Duato{AdaptiveVCs: 2}
+	vcs := alg.MinVCs(g)
+	if vcs != 4 {
+		t.Fatalf("MinVCs = %d, want 4", vcs)
+	}
+	cands := alg.Route(req(g, g.Node(0, 0), g.Node(3, 3), vcs), nil)
+	// 2 minimal ports x 2 adaptive VCs + 1 escape.
+	if len(cands) != 5 {
+		t.Fatalf("got %d candidates, want 5: %v", len(cands), cands)
+	}
+	escapes := 0
+	for i, c := range cands {
+		if c.Escape {
+			escapes++
+			if i != len(cands)-1 {
+				t.Fatal("escape candidate not last")
+			}
+			if !InEscapeClass(c.VC) {
+				t.Fatal("escape candidate outside escape class")
+			}
+		} else if InEscapeClass(c.VC) {
+			t.Fatal("adaptive candidate inside escape class")
+		}
+	}
+	if escapes != 1 {
+		t.Fatalf("got %d escape candidates, want 1", escapes)
+	}
+}
+
+func TestDuatoWormStaysInEscapeClass(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg := Duato{AdaptiveVCs: 2}
+	vcs := alg.MinVCs(g)
+	r := req(g, g.Node(1, 0), g.Node(3, 3), vcs)
+	r.InPort = topology.PortFor(0, false) // arrived from -x side
+	r.InVC = 0                            // on an escape channel
+	cands := alg.Route(r, nil)
+	if len(cands) != 1 || !cands[0].Escape {
+		t.Fatalf("escaped worm got %v, want single escape candidate", cands)
+	}
+}
+
+func TestDuatoInjectionGetsAdaptive(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	alg := Duato{AdaptiveVCs: 1}
+	vcs := alg.MinVCs(g)
+	cands := alg.Route(req(g, g.Node(0, 0), g.Node(1, 0), vcs), nil)
+	adaptive := 0
+	for _, c := range cands {
+		if !c.Escape {
+			adaptive++
+		}
+	}
+	if adaptive == 0 {
+		t.Fatal("freshly injected worm offered no adaptive candidates")
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	if (DOR{}).Name() == "" || (MinimalAdaptive{}).Name() == "" || (Duato{}).Name() == "" {
+		t.Fatal("empty algorithm name")
+	}
+	if (DOR{Lanes: 2}).Name() != "DOR(lanes=2)" {
+		t.Fatalf("unexpected name %q", (DOR{Lanes: 2}).Name())
+	}
+}
+
+func TestDORMinVCsByTopology(t *testing.T) {
+	if got := (DOR{}).MinVCs(topology.NewTorus(8, 2)); got != 2 {
+		t.Errorf("torus MinVCs = %d, want 2", got)
+	}
+	if got := (DOR{}).MinVCs(topology.NewMesh(8, 2)); got != 1 {
+		t.Errorf("mesh MinVCs = %d, want 1", got)
+	}
+	if got := (DOR{}).MinVCs(topology.NewHypercube(4)); got != 1 {
+		t.Errorf("hypercube MinVCs = %d, want 1", got)
+	}
+}
+
+func TestHypercubeDORRoutesLowestDimensionFirst(t *testing.T) {
+	h := topology.NewHypercube(4)
+	alg := DOR{}
+	cands := alg.Route(req(h, 0b0000, 0b1010, 1), nil)
+	if len(cands) != 1 || cands[0].Port != 1 {
+		t.Fatalf("expected port 1 (lowest differing bit), got %v", cands)
+	}
+}

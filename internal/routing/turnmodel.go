@@ -1,0 +1,70 @@
+package routing
+
+import (
+	"fmt"
+
+	"crnet/internal/topology"
+)
+
+// WestFirst is Glass & Ni's west-first turn-model routing for 2-D
+// meshes (the paper's reference [19]): all -x ("west") hops are taken
+// first, deterministically; the remaining +x/+y/-y hops are fully
+// adaptive. Prohibiting the four turns into the west direction breaks
+// every channel-dependency cycle, so west-first is deadlock-free on
+// meshes with no virtual channels — but, as the paper notes, it does
+// not extend to tori, where wraparound channels reintroduce cycles.
+//
+// It is included as the "partially adaptive, no VCs" baseline between
+// DOR (no adaptivity) and CR (full adaptivity).
+type WestFirst struct{}
+
+// Name implements Algorithm.
+func (WestFirst) Name() string { return "west-first" }
+
+// MinVCs implements Algorithm.
+func (WestFirst) MinVCs(topo topology.Topology) int {
+	mustBe2DMesh(topo)
+	return 1
+}
+
+func mustBe2DMesh(topo topology.Topology) *topology.Grid {
+	g, ok := topo.(*topology.Grid)
+	if !ok || g.Wrap() || g.Dims() != 2 {
+		panic(fmt.Sprintf("routing: west-first requires a 2-D mesh, got %s", topo.Name()))
+	}
+	return g
+}
+
+// Route implements Algorithm.
+func (WestFirst) Route(req Request, buf []Candidate) []Candidate {
+	g := mustBe2DMesh(req.Topo)
+	cx, cy := g.Coord(req.Cur, 0), g.Coord(req.Cur, 1)
+	dx, dy := g.Coord(req.Dst, 0), g.Coord(req.Dst, 1)
+	addAll := func(p topology.Port) []Candidate {
+		if !req.linkUp(p) {
+			return buf
+		}
+		for vc := 0; vc < req.NumVCs; vc++ {
+			buf = append(buf, Candidate{Port: p, VC: vc})
+		}
+		return buf
+	}
+	if dx < cx {
+		// West hops remain: west only, no other direction may precede
+		// them (taking one would need a prohibited turn back west).
+		return addAll(topology.PortFor(0, false))
+	}
+	// West is done (or never needed): adaptive over the productive
+	// non-west directions.
+	if dx > cx {
+		buf = addAll(topology.PortFor(0, true))
+	}
+	if dy > cy {
+		buf = addAll(topology.PortFor(1, true))
+	} else if dy < cy {
+		buf = addAll(topology.PortFor(1, false))
+	}
+	return buf
+}
+
+var _ Algorithm = WestFirst{}

@@ -1,0 +1,127 @@
+package routing
+
+import (
+	"testing"
+
+	"crnet/internal/topology"
+)
+
+func TestWestFirstRequiresMesh(t *testing.T) {
+	for _, topo := range []topology.Topology{
+		topology.NewTorus(4, 2),
+		topology.NewMesh(4, 3),
+		topology.NewHypercube(3),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted by west-first", topo.Name())
+				}
+			}()
+			WestFirst{}.MinVCs(topo)
+		}()
+	}
+	if got := (WestFirst{}).MinVCs(topology.NewMesh(4, 2)); got != 1 {
+		t.Fatalf("MinVCs = %d, want 1", got)
+	}
+}
+
+func TestWestFirstWestGoesFirstAlone(t *testing.T) {
+	g := topology.NewMesh(8, 2)
+	alg := WestFirst{}
+	// Destination is west and north: only -x offered while west remains.
+	cands := alg.Route(req(g, g.Node(5, 2), g.Node(1, 6), 1), nil)
+	if len(cands) != 1 || cands[0].Port != topology.PortFor(0, false) {
+		t.Fatalf("west-remaining candidates = %v", cands)
+	}
+	// After west is complete: adaptive north only.
+	cands = alg.Route(req(g, g.Node(1, 2), g.Node(1, 6), 1), nil)
+	if len(cands) != 1 || cands[0].Port != topology.PortFor(1, true) {
+		t.Fatalf("post-west candidates = %v", cands)
+	}
+}
+
+func TestWestFirstAdaptiveEastQuadrant(t *testing.T) {
+	g := topology.NewMesh(8, 2)
+	alg := WestFirst{}
+	cands := alg.Route(req(g, g.Node(1, 1), g.Node(5, 5), 2), nil)
+	ports := map[topology.Port]int{}
+	for _, c := range cands {
+		ports[c.Port]++
+	}
+	if len(ports) != 2 || ports[topology.PortFor(0, true)] != 2 || ports[topology.PortFor(1, true)] != 2 {
+		t.Fatalf("east-quadrant candidates = %v", cands)
+	}
+}
+
+func TestWestFirstPathsAreMinimal(t *testing.T) {
+	g := topology.NewMesh(6, 2)
+	alg := WestFirst{}
+	for a := 0; a < g.Nodes(); a++ {
+		for b := 0; b < g.Nodes(); b++ {
+			if a == b {
+				continue
+			}
+			src, dst := topology.NodeID(a), topology.NodeID(b)
+			cur := src
+			hops := 0
+			for cur != dst {
+				cands := alg.Route(req(g, cur, dst, 1), nil)
+				if len(cands) == 0 {
+					t.Fatalf("stuck at %d en route %d->%d", cur, a, b)
+				}
+				next, ok := g.Neighbor(cur, cands[0].Port)
+				if !ok {
+					t.Fatalf("unconnected candidate at %d", cur)
+				}
+				if g.Distance(next, dst) != g.Distance(cur, dst)-1 {
+					t.Fatalf("non-minimal west-first hop %d->%d toward %d", cur, next, dst)
+				}
+				cur = next
+				hops++
+			}
+			if hops != g.Distance(src, dst) {
+				t.Fatalf("path %d->%d took %d hops, distance %d", a, b, hops, g.Distance(src, dst))
+			}
+		}
+	}
+}
+
+// No candidate may ever make a turn into the west direction after a
+// non-west hop; equivalently, once any candidate set excludes west, no
+// later hop may offer west. Verified by walking every adaptive choice.
+func TestWestFirstNeverTurnsBackWest(t *testing.T) {
+	g := topology.NewMesh(5, 2)
+	alg := WestFirst{}
+	west := topology.PortFor(0, false)
+	var walk func(cur, dst topology.NodeID, movedNonWest bool)
+	visited := map[[3]int]bool{}
+	walk = func(cur, dst topology.NodeID, movedNonWest bool) {
+		key := [3]int{int(cur), int(dst), boolToInt(movedNonWest)}
+		if visited[key] || cur == dst {
+			return
+		}
+		visited[key] = true
+		for _, c := range alg.Route(req(g, cur, dst, 1), nil) {
+			if movedNonWest && c.Port == west {
+				t.Fatalf("west offered after a non-west hop at %d toward %d", cur, dst)
+			}
+			next, _ := g.Neighbor(cur, c.Port)
+			walk(next, dst, movedNonWest || c.Port != west)
+		}
+	}
+	for a := 0; a < g.Nodes(); a++ {
+		for b := 0; b < g.Nodes(); b++ {
+			if a != b {
+				walk(topology.NodeID(a), topology.NodeID(b), false)
+			}
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"fmt"
+
+	"crnet/internal/core"
+	"crnet/internal/network"
+	"crnet/internal/routing"
+	"crnet/internal/stats"
+	"crnet/internal/topology"
+)
+
+// Scale sets the size/duration knobs shared by every experiment, so the
+// full paper-scale runs and quick CI-sized runs use identical drivers.
+type Scale struct {
+	// K is the torus radix; experiments run on a KxK torus.
+	K int
+	// MsgLen is the default message length in flits.
+	MsgLen int
+	// Warmup and Measure are the window lengths in cycles.
+	Warmup  int64
+	Measure int64
+	// Loads are the offered-load points (fraction of capacity) swept by
+	// the latency/throughput experiments.
+	Loads []float64
+	// Seed drives all stochastic processes.
+	Seed uint64
+}
+
+// Quick is the CI-sized scale: an 8x8 torus and short windows. Shapes
+// (who wins, where curves diverge) match Full; absolute numbers are
+// noisier.
+var Quick = Scale{
+	K:       8,
+	MsgLen:  16,
+	Warmup:  1500,
+	Measure: 6000,
+	Loads:   []float64{0.1, 0.3, 0.5, 0.7, 0.8, 0.9},
+	Seed:    1,
+}
+
+// Full is the paper-scale setting: a 16x16 torus (256 nodes) as in the
+// paper's simulations, with long measurement windows.
+var Full = Scale{
+	K:       16,
+	MsgLen:  16,
+	Warmup:  5000,
+	Measure: 20000,
+	Loads:   []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+	Seed:    1,
+}
+
+func (s Scale) torus() *topology.Grid { return topology.NewTorus(s.K, 2) }
+
+// crNet returns the canonical CR network: fully adaptive minimal
+// routing, no virtual channels, 2-flit buffers, exponential backoff.
+func (s Scale) crNet() network.Config {
+	return network.Config{
+		Topo:     s.torus(),
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		VCs:      1,
+		BufDepth: 2,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Seed:     s.Seed,
+	}
+}
+
+// fcrNet returns the canonical FCR network.
+func (s Scale) fcrNet() network.Config {
+	c := s.crNet()
+	c.Protocol = core.FCR
+	return c
+}
+
+// dorNet returns the paper's DOR baseline: dimension-order routing with
+// the 2-VC dateline discipline and the given FIFO depth per VC.
+func (s Scale) dorNet(lanes, bufDepth int) network.Config {
+	return network.Config{
+		Topo:     s.torus(),
+		Alg:      routing.DOR{Lanes: lanes},
+		Protocol: core.Plain,
+		BufDepth: bufDepth,
+		Seed:     s.Seed,
+	}
+}
+
+func (s Scale) run(net network.Config, pattern string, load float64, msgLen int) Metrics {
+	m, err := Run(Config{
+		Net:           net,
+		Pattern:       pattern,
+		Load:          load,
+		MsgLen:        msgLen,
+		WarmupCycles:  s.Warmup,
+		MeasureCycles: s.Measure,
+		Seed:          s.Seed + 77,
+	})
+	if err != nil {
+		panic(err) // experiment configurations are static; errors are bugs
+	}
+	return m
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper names the table/figure being reproduced.
+	Paper string
+	Run   func(Scale) *stats.Table
+}
+
+// Experiments lists every reproduced figure/table, in paper order.
+var Experiments = []Experiment{
+	{"E1", "CR latency and throughput vs offered load", "Sec. 6.1 base curves", E1LatencyVsLoad},
+	{"E2", "CR kill/retry rates vs offered load", "Sec. 6.1 recovery cost", E2KillRate},
+	{"E3", "Static vs dynamic retransmission gaps", "Fig. 11", E3RetransmissionGap},
+	{"E4", "Potential deadlock situations via Duato escape usage", "Sec. 6 PDS estimate", E4PDSEstimate},
+	{"E5", "CR vs DOR across buffer depths", "Fig. 14(a),(b)", E5BufferDepth},
+	{"E6", "CR vs DOR across virtual channels (equal buffer budget)", "Fig. 14(c),(d)", E6VirtualChannels},
+	{"E7", "Interface bandwidth: injection/ejection channels", "Fig. 14(e),(f)", E7InterfaceBandwidth},
+	{"E8", "FCR under transient fault rates", "Sec. 6.2", E8TransientFaults},
+	{"E9", "FCR under permanent link faults", "Sec. 6.2", E9PermanentFaults},
+	{"E10", "Timeout sensitivity and false kills", "Sec. 7 timeout discussion", E10TimeoutSensitivity},
+	{"E11", "Hardware complexity model", "Sec. 5, Figs. 7-8", E11HardwareCost},
+	{"E12", "Traffic patterns: adaptivity payoff", "Sec. 6.1 non-uniform claim", E12TrafficPatterns},
+	{"E13", "Padding overhead vs message length", "Sec. 7 overhead discussion", E13PaddingOverhead},
+	{"E14", "Protocol properties under stress", "Sec. 3-4 claims", E14Properties},
+	{"E15", "Source-based vs path-wide timeout schemes", "Sec. 7/8 ablation", E15TimeoutSchemes},
+	{"E16", "Turn-model (west-first) vs DOR vs CR on the mesh", "Related work [19]", E16TurnModel},
+	{"E17", "Latency distribution tails", "Sec. 7 variance discussion [32]", E17LatencyDistribution},
+	{"E18", "Bimodal message-length traffic", "Companion study [32]", E18BimodalTraffic},
+	{"E19", "Application workloads: stencil, all-to-all, RPC", "Intro motivation (software layers)", E19Applications},
+	{"E20", "Adaptive output-selection policy ablation", "Implementation choice (Sec. 5)", E20SelectionPolicy},
+	{"E21", "FCR padding-margin ablation (bound is load-bearing)", "Sec. 4 padding rule", E21PaddingMargin},
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// addLoadRow is the common row shape for latency/throughput sweeps.
+func addLoadRow(t *stats.Table, scheme string, load float64, m Metrics) {
+	sat := ""
+	if m.Saturated() {
+		sat = "saturated"
+	}
+	t.AddRow(scheme, load, m.Throughput, m.AvgLatency, m.P95Latency, sat)
+}
+
+func loadColumns() []string {
+	return []string{"scheme", "offered(frac)", "thpt(flits/node/cyc)", "avg_latency", "p95", "note"}
+}
+
+// E1LatencyVsLoad reproduces the paper's base CR performance curves:
+// average latency and accepted throughput against offered load, uniform
+// traffic, 16-flit messages on the torus.
+func E1LatencyVsLoad(s Scale) *stats.Table {
+	t := stats.NewTable("E1: CR latency/throughput vs offered load ("+s.torus().Name()+")", loadColumns()...)
+	for _, load := range s.Loads {
+		m := s.run(s.crNet(), "uniform", load, s.MsgLen)
+		addLoadRow(t, "CR", load, m)
+	}
+	return t
+}
+
+// E2KillRate reports the deadlock-recovery cost: kills and retries per
+// delivered message, and the padding overhead, across load.
+func E2KillRate(s Scale) *stats.Table {
+	t := stats.NewTable("E2: CR kill/retry behavior vs load",
+		"offered(frac)", "kills/msg", "retries/msg", "pad_overhead", "avg_latency")
+	for _, load := range s.Loads {
+		m := s.run(s.crNet(), "uniform", load, s.MsgLen)
+		t.AddRow(load, m.KillsPerMsg, m.RetriesPerMsg, m.PadOverhead, m.AvgLatency)
+	}
+	return t
+}
+
+// E3RetransmissionGap reproduces Fig. 11: static retransmission gaps of
+// several sizes against the dynamic (exponential backoff) scheme, with
+// the kill timeout fixed at 32 cycles as in the paper.
+func E3RetransmissionGap(s Scale) *stats.Table {
+	t := stats.NewTable("E3 (Fig. 11): retransmission gap schemes, timeout=32",
+		"scheme", "offered(frac)", "thpt(flits/node/cyc)", "avg_latency", "kills/msg")
+	schemes := []struct {
+		name string
+		b    core.Backoff
+	}{
+		{"static-8", core.Backoff{Kind: core.BackoffStatic, Gap: 8}},
+		{"static-16", core.Backoff{Kind: core.BackoffStatic, Gap: 16}},
+		{"static-32", core.Backoff{Kind: core.BackoffStatic, Gap: 32}},
+		{"static-64", core.Backoff{Kind: core.BackoffStatic, Gap: 64}},
+		{"static-128", core.Backoff{Kind: core.BackoffStatic, Gap: 128}},
+		{"dynamic-exp", core.Backoff{Kind: core.BackoffExponential, Gap: 8}},
+	}
+	for _, sc := range schemes {
+		for _, load := range s.Loads {
+			net := s.crNet()
+			net.Timeout = 32
+			net.Backoff = sc.b
+			m := s.run(net, "uniform", load, s.MsgLen)
+			t.AddRow(sc.name, load, m.Throughput, m.AvgLatency, m.KillsPerMsg)
+		}
+	}
+	return t
+}
+
+// E4PDSEstimate reproduces the paper's potential-deadlock-situation
+// estimate: a Duato-routed network counts how often blocked headers are
+// forced onto the dimension-order escape channels; CR's kill rate at the
+// same load is shown beside it (CR recovers instead of avoiding).
+func E4PDSEstimate(s Scale) *stats.Table {
+	t := stats.NewTable("E4: potential deadlock situations (Duato escape usage) vs CR kills",
+		"offered(frac)", "duato_pds/msg", "cr_kills/msg", "duato_thpt", "cr_thpt")
+	duato := network.Config{
+		Topo:     s.torus(),
+		Alg:      routing.Duato{AdaptiveVCs: 1},
+		Protocol: core.Plain,
+		BufDepth: 2,
+		Seed:     s.Seed,
+	}
+	for _, load := range s.Loads {
+		md := s.run(duato, "uniform", load, s.MsgLen)
+		mc := s.run(s.crNet(), "uniform", load, s.MsgLen)
+		t.AddRow(load, md.PDSPerMsg, mc.KillsPerMsg, md.Throughput, mc.Throughput)
+	}
+	return t
+}
+
+// E5BufferDepth reproduces Fig. 14(a),(b): DOR with progressively deeper
+// FIFO buffers against CR with fixed 2-flit buffers. The paper's
+// observation: CR with 2-flit buffers matches a DOR network with far
+// deeper FIFOs.
+func E5BufferDepth(s Scale) *stats.Table {
+	t := stats.NewTable("E5 (Fig. 14a,b): buffer depth, CR depth-2 vs DOR depth sweep", loadColumns()...)
+	for _, load := range s.Loads {
+		m := s.run(s.crNet(), "uniform", load, s.MsgLen)
+		addLoadRow(t, "CR(d=2)", load, m)
+	}
+	for _, depth := range []int{2, 4, 8, 16} {
+		for _, load := range s.Loads {
+			m := s.run(s.dorNet(1, depth), "uniform", load, s.MsgLen)
+			addLoadRow(t, fmt.Sprintf("DOR(d=%d)", depth), load, m)
+		}
+	}
+	return t
+}
+
+// E6VirtualChannels reproduces Fig. 14(c),(d): virtual-channel sweeps.
+// CR fixes 2-flit buffers per VC and varies VC count; DOR receives an
+// equal total buffer budget per port (more lanes, shallower FIFOs).
+func E6VirtualChannels(s Scale) *stats.Table {
+	t := stats.NewTable("E6 (Fig. 14c,d): virtual channels at equal buffer budget", loadColumns()...)
+	const budget = 16 // flits per physical port for DOR
+	for _, vcs := range []int{1, 2, 4, 8} {
+		net := s.crNet()
+		net.VCs = vcs
+		for _, load := range s.Loads {
+			m := s.run(net, "uniform", load, s.MsgLen)
+			addLoadRow(t, fmt.Sprintf("CR(vc=%d)", vcs), load, m)
+		}
+	}
+	for _, lanes := range []int{1, 2, 4} {
+		depth := budget / (2 * lanes) // 2 dateline classes per lane
+		net := s.dorNet(lanes, depth)
+		for _, load := range s.Loads {
+			m := s.run(net, "uniform", load, s.MsgLen)
+			addLoadRow(t, fmt.Sprintf("DOR(vc=%d,d=%d)", 2*lanes, depth), load, m)
+		}
+	}
+	return t
+}
+
+// E7InterfaceBandwidth reproduces Fig. 14(e),(f): the effect of multiple
+// injection/ejection channels per node. A single sink channel throttles
+// peak throughput; widening the interface lets CR's adaptivity show.
+func E7InterfaceBandwidth(s Scale) *stats.Table {
+	t := stats.NewTable("E7 (Fig. 14e,f): interface channels per node", loadColumns()...)
+	for _, ch := range []int{1, 2, 4} {
+		cr := s.crNet()
+		cr.InjectionChannels, cr.EjectionChannels = ch, ch
+		dor := s.dorNet(1, 8)
+		dor.InjectionChannels, dor.EjectionChannels = ch, ch
+		for _, load := range s.Loads {
+			m := s.run(cr, "uniform", load, s.MsgLen)
+			addLoadRow(t, fmt.Sprintf("CR(ch=%d)", ch), load, m)
+		}
+		for _, load := range s.Loads {
+			m := s.run(dor, "uniform", load, s.MsgLen)
+			addLoadRow(t, fmt.Sprintf("DOR(ch=%d)", ch), load, m)
+		}
+	}
+	return t
+}

@@ -1,0 +1,248 @@
+// Package sim provides the experiment harness: it wires a network
+// configuration to a synthetic workload, runs warmup and measurement
+// windows, and reduces the run to the metrics the paper's figures plot
+// (latency vs offered load, throughput, kill/retry rates, PDS counts,
+// padding overhead). The experiment drivers that regenerate each of the
+// paper's figures and tables live in this package too and are shared by
+// cmd/crbench and the repository's benchmarks.
+package sim
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/network"
+	"crnet/internal/stats"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Net is the network configuration (topology, routing, protocol...).
+	Net network.Config
+	// Pattern names the traffic pattern (see traffic.ByName).
+	Pattern string
+	// Load is the offered load as a fraction of the topology's uniform
+	// saturation capacity.
+	Load float64
+	// MsgLen is the message length in flits (head included).
+	MsgLen int
+	// Lengths optionally overrides MsgLen with a message-length model
+	// (e.g. traffic.Bimodal); MsgLen is ignored when set.
+	Lengths traffic.LengthModel
+	// WarmupCycles are simulated but not measured; 0 means 2000.
+	WarmupCycles int64
+	// MeasureCycles is the measurement window; 0 means 10000.
+	MeasureCycles int64
+	// DrainCycles bounds the post-measurement drain that lets messages
+	// born in the window finish; 0 means 4 x MeasureCycles.
+	DrainCycles int64
+	// Seed drives traffic generation (fault seeds live in Net).
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Lengths == nil {
+		if c.MsgLen < 1 {
+			return fmt.Errorf("sim: MsgLen = %d", c.MsgLen)
+		}
+		c.Lengths = traffic.FixedLength(c.MsgLen)
+	}
+	if c.Load < 0 {
+		return fmt.Errorf("sim: Load = %v", c.Load)
+	}
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 2000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 10000
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 4 * c.MeasureCycles
+	}
+	return nil
+}
+
+// Metrics is the reduction of one run. Event rates cover the measurement
+// window; latency covers messages created in the window (delivered
+// within the bounded drain).
+type Metrics struct {
+	// OfferedLoad is the generated load in flits/node/cycle.
+	OfferedLoad float64
+	// OfferedFrac is OfferedLoad as a fraction of uniform capacity.
+	OfferedFrac float64
+	// Throughput is delivered data flits/node/cycle in the window.
+	Throughput float64
+	// ThroughputFrac is Throughput as a fraction of uniform capacity.
+	ThroughputFrac float64
+
+	// Delivered counts window messages delivered; Censored counts those
+	// still undelivered at the drain bound (grows past saturation).
+	Delivered int64
+	Censored  int64
+
+	// Latency statistics in cycles, message creation to delivery.
+	AvgLatency float64
+	P50Latency int64
+	P95Latency int64
+	P99Latency int64
+	MaxLatency int64
+
+	// Protocol event rates, normalized per delivered window message.
+	KillsPerMsg   float64
+	RetriesPerMsg float64
+	FKillsPerMsg  float64
+	PDSPerMsg     float64
+	// PadOverhead is pad flits per data flit injected in the window.
+	PadOverhead float64
+
+	// Integrity and liveness (whole run).
+	DeliveredCorrupt int64 // DataOK == false window deliveries (zero under FCR)
+	FailedMessages   int64 // abandoned after MaxAttempts
+	OrderErrors      int64
+	LateFKills       int64
+	TransientFaults  int64
+	Misroutes        int64
+	StaleSignals     int64
+}
+
+// Saturated reports whether the run is past the saturation point, using
+// the censoring ratio (undelivered window messages).
+func (m Metrics) Saturated() bool {
+	total := m.Delivered + m.Censored
+	return total > 0 && float64(m.Censored) > 0.02*float64(total)
+}
+
+// snapshot captures the monotone counters used for window deltas.
+type snapshot struct {
+	kills, fkills, retries   int64
+	dataFlits, padFlits      int64
+	recvDataFlits            int64
+	pds, misroutes, staleSig int64
+}
+
+func takeSnapshot(net *network.Network) snapshot {
+	is := net.InjectorStats()
+	rs := net.RouterStats()
+	return snapshot{
+		kills:         is.Kills,
+		fkills:        is.FKills,
+		retries:       is.Retries,
+		dataFlits:     is.DataFlits,
+		padFlits:      is.PadFlits,
+		recvDataFlits: net.ReceiverStats().DataFlits,
+		pds:           rs.PDS,
+		misroutes:     rs.Misroutes,
+		staleSig:      rs.StaleSignals,
+	}
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (Metrics, error) {
+	m, _, err := RunWithNetwork(cfg)
+	return m, err
+}
+
+// RunWithNetwork is Run but also returns the simulated network for
+// post-run inspection (link utilization, per-node statistics).
+func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Metrics{}, nil, err
+	}
+	net := network.New(cfg.Net)
+	topo := net.Topology()
+	pattern, err := traffic.ByName(cfg.Pattern, topo)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	gen := traffic.NewGeneratorLengths(topo, pattern, cfg.Load, cfg.Lengths, cfg.Seed)
+
+	window := make(map[flit.MessageID]int64) // message -> creation cycle
+	hist := stats.NewHistogram(16, 4096)
+	var lat stats.Welford
+	var s0, s1 snapshot
+
+	measureStart := cfg.WarmupCycles
+	measureEnd := cfg.WarmupCycles + cfg.MeasureCycles
+	drainEnd := measureEnd + cfg.DrainCycles
+
+	var delivered, corrupt int64
+	for cycle := int64(0); cycle < drainEnd; cycle++ {
+		switch cycle {
+		case measureStart:
+			s0 = takeSnapshot(net)
+		case measureEnd:
+			s1 = takeSnapshot(net)
+		}
+		if cycle < measureEnd {
+			for node := 0; node < topo.Nodes(); node++ {
+				if m, ok := gen.Tick(topology.NodeID(node), cycle); ok {
+					if cycle >= measureStart {
+						window[m.ID] = m.CreateTime
+					}
+					net.SubmitMessage(m)
+				}
+			}
+		}
+		net.Step()
+		for _, d := range net.DrainDeliveries() {
+			created, ok := window[d.Msg]
+			if !ok {
+				continue
+			}
+			delete(window, d.Msg)
+			delivered++
+			l := d.Time - created
+			lat.Add(float64(l))
+			hist.Add(l)
+			if !d.DataOK {
+				corrupt++
+			}
+		}
+		if cycle >= measureEnd && len(window) == 0 {
+			break
+		}
+	}
+	if measureEnd >= drainEnd {
+		s1 = takeSnapshot(net)
+	}
+
+	nodes := float64(topo.Nodes())
+	capacity := traffic.CapacityFlitsPerNode(topo)
+	measure := float64(cfg.MeasureCycles)
+
+	m := Metrics{
+		OfferedLoad:      cfg.Load * capacity,
+		OfferedFrac:      cfg.Load,
+		Throughput:       float64(s1.recvDataFlits-s0.recvDataFlits) / nodes / measure,
+		Delivered:        delivered,
+		Censored:         int64(len(window)),
+		AvgLatency:       lat.Mean(),
+		P50Latency:       hist.Percentile(0.50),
+		P95Latency:       hist.Percentile(0.95),
+		P99Latency:       hist.Percentile(0.99),
+		MaxLatency:       hist.Max(),
+		DeliveredCorrupt: corrupt,
+		FailedMessages:   net.InjectorStats().Failed,
+		OrderErrors:      net.ReceiverStats().OrderErrors,
+		LateFKills:       net.InjectorStats().LateFKills,
+		TransientFaults:  net.TransientFaults(),
+		Misroutes:        s1.misroutes - s0.misroutes,
+		StaleSignals:     s1.staleSig - s0.staleSig,
+	}
+	m.ThroughputFrac = m.Throughput / capacity
+	if delivered > 0 {
+		m.KillsPerMsg = float64(s1.kills-s0.kills) / float64(delivered)
+		m.RetriesPerMsg = float64(s1.retries-s0.retries) / float64(delivered)
+		m.FKillsPerMsg = float64(s1.fkills-s0.fkills) / float64(delivered)
+		m.PDSPerMsg = float64(s1.pds-s0.pds) / float64(delivered)
+	}
+	if d := s1.dataFlits - s0.dataFlits; d > 0 {
+		m.PadOverhead = float64(s1.padFlits-s0.padFlits) / float64(d)
+	}
+	return m, net, nil
+}

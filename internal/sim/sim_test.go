@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/network"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+// tiny is a fast scale for exercising every experiment driver in tests.
+var tiny = Scale{
+	K:       4,
+	MsgLen:  8,
+	Warmup:  300,
+	Measure: 1200,
+	Loads:   []float64{0.3, 0.7},
+	Seed:    3,
+}
+
+func tinyRun(t *testing.T, net network.Config, load float64) Metrics {
+	t.Helper()
+	m, err := Run(Config{
+		Net:           net,
+		Load:          load,
+		MsgLen:        8,
+		WarmupCycles:  300,
+		MeasureCycles: 1500,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunLowLoadCR(t *testing.T) {
+	m := tinyRun(t, tiny.crNet(), 0.2)
+	if m.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if m.Saturated() {
+		t.Fatalf("0.2 load saturated: %+v", m)
+	}
+	if m.AvgLatency <= 0 || m.P95Latency < m.P50Latency {
+		t.Fatalf("latency stats inconsistent: %+v", m)
+	}
+	// Throughput should be near offered load at low load.
+	if m.Throughput < 0.5*m.OfferedLoad || m.Throughput > 1.5*m.OfferedLoad {
+		t.Fatalf("throughput %v far from offered %v", m.Throughput, m.OfferedLoad)
+	}
+	if m.DeliveredCorrupt != 0 || m.OrderErrors != 0 || m.FailedMessages != 0 {
+		t.Fatalf("integrity violated: %+v", m)
+	}
+	if m.PadOverhead <= 0 {
+		t.Fatal("CR with 8-flit messages should pad")
+	}
+}
+
+func TestRunThroughputMonotoneUntilSaturation(t *testing.T) {
+	prev := -1.0
+	for _, load := range []float64{0.1, 0.3, 0.5} {
+		m := tinyRun(t, tiny.crNet(), load)
+		if m.Throughput < prev*0.8 {
+			t.Fatalf("throughput collapsed from %v to %v at load %v", prev, m.Throughput, load)
+		}
+		prev = m.Throughput
+	}
+}
+
+func TestRunOversaturationCensors(t *testing.T) {
+	m := tinyRun(t, tiny.dorNet(1, 2), 1.2)
+	if !m.Saturated() {
+		t.Fatalf("1.2x load did not saturate DOR: %+v", m)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Net: tiny.crNet(), MsgLen: 0, Load: 0.5}); err == nil {
+		t.Fatal("MsgLen 0 accepted")
+	}
+	if _, err := Run(Config{Net: tiny.crNet(), MsgLen: 8, Load: -1}); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := Run(Config{Net: tiny.crNet(), MsgLen: 8, Load: 0.5, Pattern: "nope"}); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Net: tiny.fcrNet(), Load: 0.5, MsgLen: 8, WarmupCycles: 200, MeasureCycles: 800, Seed: 5}
+	cfg.Net.TransientRate = 1e-3
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestScaleConfigs(t *testing.T) {
+	if Quick.torus().Nodes() != 64 || Full.torus().Nodes() != 256 {
+		t.Fatal("scale topologies wrong")
+	}
+	cr := Quick.crNet()
+	if cr.Protocol != core.CR || cr.VCs != 1 || cr.BufDepth != 2 {
+		t.Fatalf("canonical CR config wrong: %+v", cr)
+	}
+	if _, ok := cr.Alg.(routing.MinimalAdaptive); !ok {
+		t.Fatal("CR config not minimal adaptive")
+	}
+	dor := Quick.dorNet(2, 4)
+	if dor.Protocol != core.Plain || dor.BufDepth != 4 {
+		t.Fatalf("DOR config wrong: %+v", dor)
+	}
+	if dor.Alg.MinVCs(topology.NewTorus(8, 2)) != 4 {
+		t.Fatal("DOR lanes wrong")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(Experiments))
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		got, ok := ByID(e.ID)
+		if !ok || got.Title != e.Title {
+			t.Fatalf("ByID(%s) broken", e.ID)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+// expectedColumns pins each experiment's table schema so report
+// consumers (the benchmarks, EXPERIMENTS.md, downstream CSV tooling)
+// notice accidental drift.
+var expectedColumns = map[string]int{
+	"E1": 6, "E2": 5, "E3": 5, "E4": 5, "E5": 6, "E6": 6, "E7": 6,
+	"E8": 6, "E9": 6, "E10": 5, "E11": 8, "E12": 6, "E13": 5, "E14": 4,
+	"E15": 6, "E16": 5, "E17": 7, "E18": 6, "E19": 6, "E20": 6, "E21": 5,
+}
+
+// Every experiment driver must run end to end and produce a non-empty,
+// well-formed table at tiny scale.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests take ~10s")
+	}
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(tiny)
+			if tbl.NumRows() == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if want, ok := expectedColumns[e.ID]; !ok {
+				t.Fatalf("%s missing from expectedColumns", e.ID)
+			} else if got := len(tbl.Columns); got != want {
+				t.Fatalf("%s has %d columns, schema pin says %d", e.ID, got, want)
+			}
+			out := tbl.String()
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("%s table title missing id:\n%s", e.ID, out)
+			}
+			if csv := tbl.CSV(); len(strings.Split(csv, "\n")) < 2 {
+				t.Fatalf("%s CSV malformed", e.ID)
+			}
+		})
+	}
+}
+
+// E14 is the property experiment: at tiny scale its PASS column must be
+// all PASS.
+func TestE14PropertiesAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property run takes a few seconds")
+	}
+	tbl := E14Properties(tiny)
+	for i := 0; i < tbl.NumRows(); i++ {
+		row := tbl.Row(i)
+		if row[len(row)-1] != "PASS" {
+			t.Errorf("property %q failed: %v", row[0], row)
+		}
+	}
+}
+
+func TestRunWithBimodalLengths(t *testing.T) {
+	cfg := Config{
+		Net:           tiny.crNet(),
+		Load:          0.3,
+		Lengths:       traffic.Bimodal{Short: 4, Long: 32, LongFrac: 0.25},
+		WarmupCycles:  300,
+		MeasureCycles: 1500,
+		Seed:          9,
+	}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delivered == 0 {
+		t.Fatal("bimodal run delivered nothing")
+	}
+	if m.DeliveredCorrupt != 0 || m.FailedMessages != 0 {
+		t.Fatalf("integrity violated: %+v", m)
+	}
+}
+
+func TestRunWithNetworkExposesLinkLoads(t *testing.T) {
+	m, net, err := RunWithNetwork(Config{
+		Net:           tiny.crNet(),
+		Load:          0.3,
+		MsgLen:        8,
+		WarmupCycles:  200,
+		MeasureCycles: 800,
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net == nil {
+		t.Fatal("nil network returned")
+	}
+	var total int64
+	for _, ll := range net.LinkLoads() {
+		total += ll.Flits
+	}
+	if total == 0 || m.Delivered == 0 {
+		t.Fatal("no traffic observed on links")
+	}
+}

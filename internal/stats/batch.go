@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchMeans estimates a steady-state mean with a confidence interval
+// from a correlated series (per-message latencies, per-cycle loads) by
+// the method of non-overlapping batch means: consecutive observations
+// are grouped into fixed-size batches whose means are approximately
+// independent, and a Student-t interval is formed over the batch means.
+type BatchMeans struct {
+	batchSize int
+	current   Welford
+	means     Welford
+	inBatch   int
+}
+
+// NewBatchMeans returns an estimator with the given batch size. Batch
+// sizes should exceed the series' correlation length; a few hundred
+// observations per batch is typical for network latencies.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize < 1 {
+		panic(fmt.Sprintf("stats: batch size %d", batchSize))
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add incorporates one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	b.inBatch++
+	if b.inBatch == b.batchSize {
+		b.means.Add(b.current.Mean())
+		b.current = Welford{}
+		b.inBatch = 0
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.means.N() }
+
+// Mean returns the grand mean over completed batches (0 if none).
+func (b *BatchMeans) Mean() float64 { return b.means.Mean() }
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean. ok is false with fewer than two completed batches.
+func (b *BatchMeans) CI95() (half float64, ok bool) {
+	n := b.means.N()
+	if n < 2 {
+		return 0, false
+	}
+	se := b.means.Std() / math.Sqrt(float64(n))
+	return tQuantile975(int(n-1)) * se, true
+}
+
+// tQuantile975 returns the 97.5% quantile of Student's t distribution
+// with df degrees of freedom (two-sided 95% interval). Exact table for
+// small df, normal approximation above 30.
+func tQuantile975(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"crnet/internal/rng"
+)
+
+func TestBatchMeansIIDCoverage(t *testing.T) {
+	// For iid uniform(0,10) data the true mean is 5; the 95% interval
+	// should contain it in most replications.
+	hits := 0
+	const reps = 60
+	for rep := 0; rep < reps; rep++ {
+		r := rng.New(uint64(rep) + 1)
+		bm := NewBatchMeans(50)
+		for i := 0; i < 5000; i++ {
+			bm.Add(r.Float64() * 10)
+		}
+		half, ok := bm.CI95()
+		if !ok {
+			t.Fatal("no CI with 100 batches")
+		}
+		if math.Abs(bm.Mean()-5) <= half {
+			hits++
+		}
+	}
+	// Expected ~57/60; require a loose lower bound.
+	if hits < 50 {
+		t.Fatalf("CI covered the true mean in only %d/%d replications", hits, reps)
+	}
+}
+
+func TestBatchMeansCountsAndPartialBatch(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 25; i++ {
+		bm.Add(float64(i))
+	}
+	if bm.Batches() != 2 {
+		t.Fatalf("batches = %d, want 2 (partial third ignored)", bm.Batches())
+	}
+	// Batch means: mean(0..9)=4.5, mean(10..19)=14.5 -> grand mean 9.5.
+	if bm.Mean() != 9.5 {
+		t.Fatalf("mean = %v", bm.Mean())
+	}
+}
+
+func TestBatchMeansCIRequiresTwoBatches(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 10; i++ {
+		bm.Add(1)
+	}
+	if _, ok := bm.CI95(); ok {
+		t.Fatal("CI reported with a single batch")
+	}
+	for i := 0; i < 10; i++ {
+		bm.Add(3)
+	}
+	half, ok := bm.CI95()
+	if !ok {
+		t.Fatal("no CI with two batches")
+	}
+	// Two batch means 1 and 3: se = sqrt(2)/sqrt(2) = 1, t(1) = 12.706.
+	if math.Abs(half-12.706) > 1e-9 {
+		t.Fatalf("half-width = %v, want 12.706", half)
+	}
+}
+
+func TestBatchMeansZeroVariance(t *testing.T) {
+	bm := NewBatchMeans(5)
+	for i := 0; i < 50; i++ {
+		bm.Add(7)
+	}
+	half, ok := bm.CI95()
+	if !ok || half != 0 {
+		t.Fatalf("constant series: half=%v ok=%v", half, ok)
+	}
+	if bm.Mean() != 7 {
+		t.Fatalf("mean = %v", bm.Mean())
+	}
+}
+
+func TestTQuantileShape(t *testing.T) {
+	if tQuantile975(1) != 12.706 {
+		t.Fatal("df=1 quantile wrong")
+	}
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		q := tQuantile975(df)
+		if q > prev {
+			t.Fatalf("t quantile not decreasing at df=%d", df)
+		}
+		prev = q
+	}
+	if tQuantile975(1000) != 1.960 {
+		t.Fatal("large-df quantile should be normal")
+	}
+	if !math.IsInf(tQuantile975(0), 1) {
+		t.Fatal("df=0 should be infinite")
+	}
+}
+
+func TestBatchMeansBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batch size 0 accepted")
+		}
+	}()
+	NewBatchMeans(0)
+}

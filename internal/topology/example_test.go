@@ -1,0 +1,43 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"crnet/internal/topology"
+)
+
+// The paper's evaluation network: a 16-ary 2-cube (torus).
+func ExampleNewTorus() {
+	g := topology.NewTorus(16, 2)
+	fmt.Println(g.Name(), g.Nodes(), "nodes, diameter", g.Diameter())
+	// Wraparound makes (15,0) a neighbor of (0,0).
+	fmt.Println("distance (0,0)->(15,0):", g.Distance(g.Node(0, 0), g.Node(15, 0)))
+	// Output:
+	// 16x16 torus 256 nodes, diameter 16
+	// distance (0,0)->(15,0): 1
+}
+
+// Minimal ports: the adaptive choices at one node.
+func ExampleGrid_MinimalPorts() {
+	g := topology.NewTorus(8, 2)
+	ports := g.MinimalPorts(g.Node(0, 0), g.Node(2, 3), nil)
+	fmt.Println("productive ports toward (2,3):", len(ports))
+	// Output:
+	// productive ports toward (2,3): 2
+}
+
+// CR routes any connected graph: a little 4-node diamond.
+func ExampleNewIrregular() {
+	g, err := topology.NewIrregular("diamond", 4, []topology.Edge{
+		{A: 0, B: 1}, {A: 0, B: 2}, {A: 1, B: 3}, {A: 2, B: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Name(), "diameter", g.Diameter(), "avg", g.AverageDistance())
+	// Two minimal next hops from 0 to 3.
+	fmt.Println("minimal ports 0->3:", len(g.MinimalPorts(0, 3, nil)))
+	// Output:
+	// diamond diameter 2 avg 1.3333333333333333
+	// minimal ports 0->3: 2
+}

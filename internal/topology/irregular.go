@@ -1,0 +1,177 @@
+package topology
+
+import "fmt"
+
+// Irregular is an arbitrary connected graph topology built from an edge
+// list. It backs the paper's claim that CR applies to any topology: the
+// protocol only needs distances (for padding) and minimal ports (for
+// routing), both of which are derived here with BFS — no regular
+// structure, dateline or dimension order required.
+//
+// Edges are bidirectional; each endpoint gets one port per incident
+// edge, in insertion order.
+type Irregular struct {
+	name    string
+	nodes   int
+	ports   [][]irrPort // [node][port]
+	dist    [][]int32   // all-pairs shortest-path distances
+	diam    int
+	avgDist float64
+}
+
+type irrPort struct {
+	to      NodeID
+	revPort Port
+}
+
+// Edge is one bidirectional connection for NewIrregular.
+type Edge struct {
+	A, B NodeID
+}
+
+// NewIrregular builds a topology from an edge list over nodes
+// 0..nodes-1. It returns an error for self-loops, duplicate edges,
+// out-of-range endpoints or a disconnected graph.
+func NewIrregular(name string, nodes int, edges []Edge) (*Irregular, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("topology: irregular graph needs >= 2 nodes, have %d", nodes)
+	}
+	t := &Irregular{name: name, nodes: nodes, ports: make([][]irrPort, nodes)}
+	seen := make(map[[2]NodeID]bool)
+	for _, e := range edges {
+		if e.A == e.B {
+			return nil, fmt.Errorf("topology: self-loop at node %d", e.A)
+		}
+		if e.A < 0 || int(e.A) >= nodes || e.B < 0 || int(e.B) >= nodes {
+			return nil, fmt.Errorf("topology: edge %d-%d out of range", e.A, e.B)
+		}
+		key := [2]NodeID{e.A, e.B}
+		if e.A > e.B {
+			key = [2]NodeID{e.B, e.A}
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("topology: duplicate edge %d-%d", e.A, e.B)
+		}
+		seen[key] = true
+		pa := Port(len(t.ports[e.A]))
+		pb := Port(len(t.ports[e.B]))
+		t.ports[e.A] = append(t.ports[e.A], irrPort{to: e.B, revPort: pb})
+		t.ports[e.B] = append(t.ports[e.B], irrPort{to: e.A, revPort: pa})
+	}
+	if err := t.computeDistances(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustIrregular is NewIrregular that panics on error, for static
+// literals in tests and examples.
+func MustIrregular(name string, nodes int, edges []Edge) *Irregular {
+	t, err := NewIrregular(name, nodes, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Irregular) computeDistances() error {
+	t.dist = make([][]int32, t.nodes)
+	sum, pairs := 0.0, 0.0
+	for src := 0; src < t.nodes; src++ {
+		d := make([]int32, t.nodes)
+		for i := range d {
+			d[i] = -1
+		}
+		d[src] = 0
+		queue := []NodeID{NodeID(src)}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, p := range t.ports[cur] {
+				if d[p.to] < 0 {
+					d[p.to] = d[cur] + 1
+					queue = append(queue, p.to)
+				}
+			}
+		}
+		for n, v := range d {
+			if v < 0 {
+				return fmt.Errorf("topology: graph disconnected (node %d unreachable from %d)", n, src)
+			}
+			if int(v) > t.diam {
+				t.diam = int(v)
+			}
+			if n != src {
+				sum += float64(v)
+				pairs++
+			}
+		}
+		t.dist[src] = d
+	}
+	t.avgDist = sum / pairs
+	return nil
+}
+
+// Name implements Topology.
+func (t *Irregular) Name() string { return t.name }
+
+// Nodes implements Topology.
+func (t *Irregular) Nodes() int { return t.nodes }
+
+// Degree implements Topology: the maximum port count over all nodes.
+// Nodes with fewer incident edges leave their high ports unconnected.
+func (t *Irregular) Degree() int {
+	max := 0
+	for _, ps := range t.ports {
+		if len(ps) > max {
+			max = len(ps)
+		}
+	}
+	return max
+}
+
+// Neighbor implements Topology.
+func (t *Irregular) Neighbor(n NodeID, p Port) (NodeID, bool) {
+	if n < 0 || int(n) >= t.nodes || p < 0 || int(p) >= len(t.ports[n]) {
+		return 0, false
+	}
+	return t.ports[n][p].to, true
+}
+
+// ReversePort implements Topology.
+func (t *Irregular) ReversePort(n NodeID, p Port) Port {
+	if _, ok := t.Neighbor(n, p); !ok {
+		panic(fmt.Sprintf("topology: ReversePort of unconnected (%d,%d)", n, p))
+	}
+	return t.ports[n][p].revPort
+}
+
+// Distance implements Topology.
+func (t *Irregular) Distance(a, b NodeID) int { return int(t.dist[a][b]) }
+
+// Diameter implements Topology.
+func (t *Irregular) Diameter() int { return t.diam }
+
+// AverageDistance implements Topology.
+func (t *Irregular) AverageDistance() float64 { return t.avgDist }
+
+// MinimalPorts implements Topology: every port whose neighbor is
+// strictly closer to dst.
+func (t *Irregular) MinimalPorts(cur, dst NodeID, buf []Port) []Port {
+	if cur == dst {
+		return buf
+	}
+	d := t.dist[cur][dst]
+	for i, p := range t.ports[cur] {
+		if t.dist[p.to][dst] == d-1 {
+			buf = append(buf, Port(i))
+		}
+	}
+	return buf
+}
+
+// CrossesDateline implements Topology: irregular graphs carry no
+// dateline structure (DOR does not apply to them; CR does).
+func (t *Irregular) CrossesDateline(NodeID, Port) bool { return false }
+
+var _ Topology = (*Irregular)(nil)

@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"testing"
+
+	"crnet/internal/rng"
+)
+
+// pentagonPlus is a 6-node irregular graph: a 5-cycle with a center node
+// attached to two of its vertices.
+func pentagonPlus(t *testing.T) *Irregular {
+	t.Helper()
+	g, err := NewIrregular("pentagon+", 6, []Edge{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // 5-cycle
+		{5, 0}, {5, 2}, // center
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIrregularBasics(t *testing.T) {
+	g := pentagonPlus(t)
+	if g.Nodes() != 6 || g.Name() != "pentagon+" {
+		t.Fatal("metadata wrong")
+	}
+	// Node 0 has edges to 1, 4, 5: degree contribution 3; node 2 also 3.
+	if g.Degree() != 3 {
+		t.Fatalf("degree = %d, want 3", g.Degree())
+	}
+	if g.Distance(1, 4) != 2 || g.Distance(5, 3) != 2 || g.Distance(0, 2) != 2 {
+		t.Fatal("distances wrong")
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("diameter = %d", g.Diameter())
+	}
+}
+
+func TestIrregularReverseInverse(t *testing.T) {
+	g := pentagonPlus(t)
+	for n := NodeID(0); int(n) < g.Nodes(); n++ {
+		for p := Port(0); int(p) < g.Degree(); p++ {
+			next, ok := g.Neighbor(n, p)
+			if !ok {
+				continue
+			}
+			back, ok2 := g.Neighbor(next, g.ReversePort(n, p))
+			if !ok2 || back != n {
+				t.Fatalf("reverse of (%d,%d) broken", n, p)
+			}
+		}
+	}
+}
+
+func TestIrregularMinimalPortsReduceDistance(t *testing.T) {
+	g := pentagonPlus(t)
+	var buf []Port
+	for a := NodeID(0); int(a) < g.Nodes(); a++ {
+		for b := NodeID(0); int(b) < g.Nodes(); b++ {
+			buf = g.MinimalPorts(a, b, buf[:0])
+			if a == b {
+				if len(buf) != 0 {
+					t.Fatal("minimal ports at destination")
+				}
+				continue
+			}
+			if len(buf) == 0 {
+				t.Fatalf("no minimal port %d->%d", a, b)
+			}
+			for _, p := range buf {
+				next, _ := g.Neighbor(a, p)
+				if g.Distance(next, b) != g.Distance(a, b)-1 {
+					t.Fatalf("port %d from %d to %d not minimal", p, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestIrregularValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+		edges []Edge
+	}{
+		{"self-loop", 3, []Edge{{0, 0}, {0, 1}, {1, 2}}},
+		{"duplicate", 3, []Edge{{0, 1}, {1, 0}, {1, 2}}},
+		{"out of range", 3, []Edge{{0, 5}}},
+		{"disconnected", 4, []Edge{{0, 1}, {2, 3}}},
+		{"too small", 1, nil},
+	}
+	for _, c := range cases {
+		if _, err := NewIrregular(c.name, c.nodes, c.edges); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIrregular did not panic")
+		}
+	}()
+	MustIrregular("bad", 1, nil)
+}
+
+// RandomConnected builds a random connected graph the same way the CR
+// generality test does: a random spanning tree plus extra chords.
+func randomConnected(t *testing.T, nodes, extra int, seed uint64) *Irregular {
+	t.Helper()
+	r := rng.New(seed)
+	var edges []Edge
+	have := map[[2]NodeID]bool{}
+	add := func(a, b NodeID) bool {
+		if a == b {
+			return false
+		}
+		key := [2]NodeID{a, b}
+		if a > b {
+			key = [2]NodeID{b, a}
+		}
+		if have[key] {
+			return false
+		}
+		have[key] = true
+		edges = append(edges, Edge{a, b})
+		return true
+	}
+	perm := make([]int, nodes)
+	r.Perm(perm)
+	for i := 1; i < nodes; i++ {
+		add(NodeID(perm[i]), NodeID(perm[r.Intn(i)]))
+	}
+	for len(edges) < nodes-1+extra {
+		add(NodeID(r.Intn(nodes)), NodeID(r.Intn(nodes)))
+	}
+	g, err := NewIrregular("random", nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIrregularRandomGraphsMetricConsistency(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomConnected(t, 20, 15, seed)
+		// BFS distances must agree with the generic checker used for
+		// regular topologies.
+		dist := bfs(g, 7)
+		for n := 0; n < g.Nodes(); n++ {
+			if dist[n] != g.Distance(7, NodeID(n)) {
+				t.Fatalf("seed %d: distance mismatch at node %d", seed, n)
+			}
+		}
+		// Symmetry.
+		for a := NodeID(0); int(a) < g.Nodes(); a++ {
+			for b := NodeID(0); int(b) < g.Nodes(); b++ {
+				if g.Distance(a, b) != g.Distance(b, a) {
+					t.Fatalf("seed %d: asymmetric distance", seed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"fmt"
+
+	"crnet/internal/rng"
+)
+
+// LengthModel draws per-message lengths. The paper's companion study
+// (Kim & Chien, "Network performance under bimodal traffic loads") and
+// its Section 7 variance discussion motivate mixing short protocol
+// messages with long data messages.
+type LengthModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Mean returns the expected length in flits (used to normalize
+	// offered load).
+	Mean() float64
+	// Length draws one message length (>= 1).
+	Length(r *rng.Source) int
+}
+
+// FixedLength is the constant-length model used in most experiments.
+type FixedLength int
+
+// Name implements LengthModel.
+func (f FixedLength) Name() string { return fmt.Sprintf("fixed(%d)", int(f)) }
+
+// Mean implements LengthModel.
+func (f FixedLength) Mean() float64 { return float64(f) }
+
+// Length implements LengthModel.
+func (f FixedLength) Length(*rng.Source) int { return int(f) }
+
+// Bimodal draws Short flits with probability 1-LongFrac and Long flits
+// with probability LongFrac — the classic request/response + bulk-data
+// mix.
+type Bimodal struct {
+	Short, Long int
+	LongFrac    float64
+}
+
+// Name implements LengthModel.
+func (b Bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%d/%d@%.2f)", b.Short, b.Long, b.LongFrac)
+}
+
+// Mean implements LengthModel.
+func (b Bimodal) Mean() float64 {
+	return float64(b.Short)*(1-b.LongFrac) + float64(b.Long)*b.LongFrac
+}
+
+// Length implements LengthModel.
+func (b Bimodal) Length(r *rng.Source) int {
+	if r.Bernoulli(b.LongFrac) {
+		return b.Long
+	}
+	return b.Short
+}
+
+func (b Bimodal) validate() error {
+	if b.Short < 1 || b.Long < b.Short {
+		return fmt.Errorf("traffic: bimodal lengths %d/%d invalid", b.Short, b.Long)
+	}
+	if b.LongFrac < 0 || b.LongFrac > 1 {
+		return fmt.Errorf("traffic: bimodal long fraction %v outside [0,1]", b.LongFrac)
+	}
+	return nil
+}

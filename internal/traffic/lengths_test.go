@@ -1,0 +1,92 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"crnet/internal/rng"
+	"crnet/internal/topology"
+)
+
+func TestFixedLength(t *testing.T) {
+	f := FixedLength(16)
+	if f.Mean() != 16 || f.Length(nil) != 16 {
+		t.Fatal("fixed length broken")
+	}
+	if f.Name() != "fixed(16)" {
+		t.Fatalf("name %q", f.Name())
+	}
+}
+
+func TestBimodalMeanAndDraws(t *testing.T) {
+	b := Bimodal{Short: 4, Long: 64, LongFrac: 0.25}
+	if want := 4*0.75 + 64*0.25; b.Mean() != want {
+		t.Fatalf("mean %v, want %v", b.Mean(), want)
+	}
+	r := rng.New(1)
+	longs := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		switch b.Length(r) {
+		case 64:
+			longs++
+		case 4:
+		default:
+			t.Fatal("unexpected length")
+		}
+	}
+	if got := float64(longs) / trials; math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("long fraction %v, want 0.25", got)
+	}
+}
+
+func TestBimodalEdgeFractions(t *testing.T) {
+	r := rng.New(2)
+	all4 := Bimodal{Short: 4, Long: 64, LongFrac: 0}
+	all64 := Bimodal{Short: 4, Long: 64, LongFrac: 1}
+	for i := 0; i < 100; i++ {
+		if all4.Length(r) != 4 || all64.Length(r) != 64 {
+			t.Fatal("edge fractions broken")
+		}
+	}
+}
+
+func TestBimodalGeneratorLoadNormalization(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	model := Bimodal{Short: 4, Long: 64, LongFrac: 0.2}
+	const load = 0.4
+	gen := NewGeneratorLengths(g, Uniform{Nodes: g.Nodes()}, load, model, 5)
+	const cycles = 30000
+	flits := 0
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		for n := topology.NodeID(0); int(n) < g.Nodes(); n++ {
+			if m, ok := gen.Tick(n, cyc); ok {
+				flits += m.DataLen
+			}
+		}
+	}
+	offered := float64(flits) / cycles / float64(g.Nodes())
+	want := load * CapacityFlitsPerNode(g)
+	if math.Abs(offered-want)/want > 0.05 {
+		t.Fatalf("bimodal offered %v flits/node/cycle, want %v", offered, want)
+	}
+}
+
+func TestBimodalValidation(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	bad := []Bimodal{
+		{Short: 0, Long: 8, LongFrac: 0.5},
+		{Short: 8, Long: 4, LongFrac: 0.5},
+		{Short: 4, Long: 8, LongFrac: 1.5},
+	}
+	for _, b := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad bimodal %+v accepted", b)
+				}
+			}()
+			NewGeneratorLengths(g, Uniform{Nodes: g.Nodes()}, 0.5, b, 1)
+		}()
+	}
+}

@@ -1,0 +1,220 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"crnet/internal/rng"
+	"crnet/internal/topology"
+)
+
+func TestPatternsNeverSelfSend(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	r := rng.New(1)
+	patterns := []Pattern{
+		Uniform{Nodes: g.Nodes()},
+		Transpose{Grid: g},
+		BitReversal{Nodes: g.Nodes()},
+		BitComplement{Nodes: g.Nodes()},
+		Hotspot{Nodes: g.Nodes(), Spots: []topology.NodeID{0, 32}, Frac: 0.3},
+	}
+	for _, p := range patterns {
+		for src := topology.NodeID(0); int(src) < g.Nodes(); src++ {
+			for trial := 0; trial < 20; trial++ {
+				if d := p.Dest(src, r); d == src {
+					t.Fatalf("%s: self-send from %d", p.Name(), src)
+				} else if d < 0 || int(d) >= g.Nodes() {
+					t.Fatalf("%s: dest %d out of range", p.Name(), d)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	const nodes = 16
+	u := Uniform{Nodes: nodes}
+	r := rng.New(2)
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[u.Dest(3, r)] = true
+	}
+	if len(seen) != nodes-1 {
+		t.Fatalf("uniform hit %d destinations, want %d", len(seen), nodes-1)
+	}
+}
+
+func TestTransposeMapsCoordinates(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	p := Transpose{Grid: g}
+	src := g.Node(2, 5)
+	if got, want := p.Dest(src, nil), g.Node(5, 2); got != want {
+		t.Fatalf("transpose(2,5) = %d, want %d", got, want)
+	}
+	// Diagonal falls back to antipode.
+	diag := g.Node(3, 3)
+	if got, want := p.Dest(diag, nil), g.Node(7, 7); got != want {
+		t.Fatalf("transpose diagonal = %d, want antipode %d", got, want)
+	}
+}
+
+func TestTransposeIsInvolutionOffDiagonal(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	p := Transpose{Grid: g}
+	for src := topology.NodeID(0); int(src) < g.Nodes(); src++ {
+		if g.Coord(src, 0) == g.Coord(src, 1) {
+			continue
+		}
+		if back := p.Dest(p.Dest(src, nil), nil); back != src {
+			t.Fatalf("transpose not involutive at %d", src)
+		}
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	p := BitReversal{Nodes: 16} // 4 address bits
+	if got := p.Dest(0b0001, nil); got != 0b1000 {
+		t.Fatalf("reverse(0001) = %04b", got)
+	}
+	if got := p.Dest(0b0011, nil); got != 0b1100 {
+		t.Fatalf("reverse(0011) = %04b", got)
+	}
+	// Palindromic address falls back to complement.
+	if got := p.Dest(0b0110, nil); got != 0b1001 {
+		t.Fatalf("palindrome fallback = %04b", got)
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p := BitComplement{Nodes: 16}
+	if got := p.Dest(0b0101, nil); got != 0b1010 {
+		t.Fatalf("complement(0101) = %04b", got)
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	const nodes = 64
+	spot := topology.NodeID(17)
+	p := Hotspot{Nodes: nodes, Spots: []topology.NodeID{spot}, Frac: 0.5}
+	r := rng.New(3)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if p.Dest(0, r) == spot {
+			hits++
+		}
+	}
+	// ~50% direct + ~0.8% via the uniform tail.
+	got := float64(hits) / trials
+	if got < 0.45 || got > 0.56 {
+		t.Fatalf("hotspot rate = %v, want ~0.5", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	for _, name := range []string{"uniform", "transpose", "bit-reversal", "bit-complement", "hotspot"} {
+		p, err := ByName(name, g)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("pattern %q has empty name", name)
+		}
+	}
+	if _, err := ByName("nope", g); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if _, err := ByName("transpose", topology.NewHypercube(4)); err == nil {
+		t.Fatal("transpose on hypercube accepted")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	// 16-ary 2-cube torus: degree 4, avg distance = 2 * (16/4 adjusted for
+	// distinct pairs). Capacity = 4/avgDist ~ 0.5 flits/node/cycle.
+	g := topology.NewTorus(16, 2)
+	c := CapacityFlitsPerNode(g)
+	if c < 0.49 || c > 0.51 {
+		t.Fatalf("torus capacity = %v, want ~0.5", c)
+	}
+}
+
+func TestGeneratorRateMatchesLoad(t *testing.T) {
+	g := topology.NewTorus(8, 2)
+	const load, msgLen = 0.5, 16
+	gen := NewGenerator(g, Uniform{Nodes: g.Nodes()}, load, msgLen, 42)
+	const cycles = 20000
+	messages := 0
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		for n := topology.NodeID(0); int(n) < g.Nodes(); n++ {
+			if _, ok := gen.Tick(n, cyc); ok {
+				messages++
+			}
+		}
+	}
+	offered := float64(messages) * msgLen / float64(cycles) / float64(g.Nodes())
+	want := load * CapacityFlitsPerNode(g)
+	if math.Abs(offered-want)/want > 0.05 {
+		t.Fatalf("offered %v flits/node/cycle, want %v", offered, want)
+	}
+}
+
+func TestGeneratorMessagesAreValid(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	gen := NewGenerator(g, Uniform{Nodes: g.Nodes()}, 0.9, 8, 7)
+	seen := map[uint64]bool{}
+	for cyc := int64(0); cyc < 500; cyc++ {
+		for n := topology.NodeID(0); int(n) < g.Nodes(); n++ {
+			m, ok := gen.Tick(n, cyc)
+			if !ok {
+				continue
+			}
+			if err := m.Validate(g.Nodes()); err != nil {
+				t.Fatal(err)
+			}
+			if m.Src != n || m.CreateTime != cyc || m.DataLen != 8 {
+				t.Fatalf("message metadata wrong: %+v", m)
+			}
+			if seen[uint64(m.ID)] {
+				t.Fatalf("duplicate message id %d", m.ID)
+			}
+			seen[uint64(m.ID)] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no messages generated at 0.9 load")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	gen1 := NewGenerator(g, Uniform{Nodes: g.Nodes()}, 0.5, 4, 99)
+	gen2 := NewGenerator(g, Uniform{Nodes: g.Nodes()}, 0.5, 4, 99)
+	for cyc := int64(0); cyc < 200; cyc++ {
+		for n := topology.NodeID(0); int(n) < g.Nodes(); n++ {
+			m1, ok1 := gen1.Tick(n, cyc)
+			m2, ok2 := gen2.Tick(n, cyc)
+			if ok1 != ok2 || m1 != m2 {
+				t.Fatalf("generators diverged at cycle %d node %d", cyc, n)
+			}
+		}
+	}
+}
+
+func TestGeneratorPanicsOnBadArgs(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	for name, fn := range map[string]func(){
+		"msgLen 0":      func() { NewGenerator(g, Uniform{Nodes: 16}, 0.5, 0, 1) },
+		"negative load": func() { NewGenerator(g, Uniform{Nodes: 16}, -0.1, 4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

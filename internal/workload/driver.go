@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/network"
+)
+
+// Result summarizes one workload execution.
+type Result struct {
+	// Completed reports whether the workload finished within the cycle
+	// budget.
+	Completed bool
+	// CompletionCycles is the cycle at which the workload finished (or
+	// the budget, if it did not).
+	CompletionCycles int64
+	// Messages and DataFlits count the workload's traffic.
+	Messages  int64
+	DataFlits int64
+	// Kills and Retries are the CR protocol events incurred.
+	Kills   int64
+	Retries int64
+}
+
+// Drive couples a workload to a network and runs it to completion (or
+// the maxCycles budget). The network must be freshly constructed; the
+// driver owns its cycle loop.
+func Drive(net *network.Network, w Workload, maxCycles int64) (Result, error) {
+	nodes := net.Topology().Nodes()
+	tagOf := make(map[flit.MessageID]Tag)
+	var nextID flit.MessageID
+	var res Result
+
+	submit := func(msgs []Msg) error {
+		for _, m := range msgs {
+			if err := m.validate(nodes); err != nil {
+				return err
+			}
+			nextID++
+			tagOf[nextID] = m.Tag
+			res.Messages++
+			res.DataFlits += int64(m.DataLen)
+			net.SubmitMessage(flit.Message{
+				ID:         nextID,
+				Src:        m.Src,
+				Dst:        m.Dst,
+				DataLen:    m.DataLen,
+				CreateTime: net.Cycle(),
+			})
+		}
+		return nil
+	}
+
+	if err := submit(w.Start()); err != nil {
+		return res, err
+	}
+	if w.Done() {
+		return res, fmt.Errorf("workload %s done before any traffic", w.Name())
+	}
+	for net.Cycle() < maxCycles {
+		net.Step()
+		for _, d := range net.DrainDeliveries() {
+			tag, ok := tagOf[d.Msg]
+			if !ok {
+				return res, fmt.Errorf("workload: delivery for unknown message %d", d.Msg)
+			}
+			delete(tagOf, d.Msg)
+			if err := submit(w.Deliver(tag)); err != nil {
+				return res, err
+			}
+		}
+		if w.Done() {
+			res.Completed = true
+			break
+		}
+	}
+	res.CompletionCycles = net.Cycle()
+	is := net.InjectorStats()
+	res.Kills = is.Kills
+	res.Retries = is.Retries
+	if res.Completed && len(tagOf) != 0 {
+		return res, fmt.Errorf("workload: finished with %d undelivered messages", len(tagOf))
+	}
+	return res, nil
+}

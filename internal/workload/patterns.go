@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+
+	"crnet/internal/topology"
+)
+
+// AllToAll is a personalized all-to-all exchange (the communication core
+// of FFT transposes and sample-sort): every node sends one message to
+// every other node, with at most Window sends outstanding per source.
+// The workload finishes when every message has been delivered.
+type AllToAll struct {
+	Nodes  int
+	MsgLen int
+	// Window bounds outstanding sends per source; 0 means 4. Larger
+	// windows expose more concurrency and more contention.
+	Window int
+
+	nextPeer  []int // next destination offset per source
+	remaining int
+	tagSrc    map[Tag]topology.NodeID
+	nextTag   Tag
+}
+
+// NewAllToAll constructs the exchange. It panics on invalid parameters.
+func NewAllToAll(nodes, msgLen, window int) *AllToAll {
+	if nodes < 2 || msgLen < 1 || window < 0 {
+		panic(fmt.Sprintf("workload: alltoall nodes=%d msgLen=%d window=%d", nodes, msgLen, window))
+	}
+	if window == 0 {
+		window = 4
+	}
+	return &AllToAll{
+		Nodes:     nodes,
+		MsgLen:    msgLen,
+		Window:    window,
+		nextPeer:  make([]int, nodes),
+		remaining: nodes * (nodes - 1),
+		tagSrc:    make(map[Tag]topology.NodeID),
+	}
+}
+
+// Name implements Workload.
+func (a *AllToAll) Name() string {
+	return fmt.Sprintf("alltoall(n=%d,len=%d,win=%d)", a.Nodes, a.MsgLen, a.Window)
+}
+
+// next returns src's next message, or ok=false when src has sent all.
+func (a *AllToAll) next(src topology.NodeID) (Msg, bool) {
+	off := a.nextPeer[src]
+	if off >= a.Nodes-1 {
+		return Msg{}, false
+	}
+	a.nextPeer[src]++
+	// Staggered schedule: node i's k-th partner is i+k+1 mod n, so no
+	// destination is hit by everyone at once.
+	dst := topology.NodeID((int(src) + off + 1) % a.Nodes)
+	a.nextTag++
+	a.tagSrc[a.nextTag] = src
+	return Msg{Tag: a.nextTag, Src: src, Dst: dst, DataLen: a.MsgLen}, true
+}
+
+// Start implements Workload.
+func (a *AllToAll) Start() []Msg {
+	var msgs []Msg
+	for src := 0; src < a.Nodes; src++ {
+		for w := 0; w < a.Window; w++ {
+			if m, ok := a.next(topology.NodeID(src)); ok {
+				msgs = append(msgs, m)
+			}
+		}
+	}
+	return msgs
+}
+
+// Deliver implements Workload: each delivery frees one window slot at
+// its source.
+func (a *AllToAll) Deliver(tag Tag) []Msg {
+	src, ok := a.tagSrc[tag]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown alltoall tag %d", tag))
+	}
+	delete(a.tagSrc, tag)
+	a.remaining--
+	if m, ok := a.next(src); ok {
+		return []Msg{m}
+	}
+	return nil
+}
+
+// Done implements Workload.
+func (a *AllToAll) Done() bool { return a.remaining == 0 }
+
+// RPC models request/response client-server traffic: every client node
+// issues Rounds sequential requests (short messages) to a fixed set of
+// server nodes, each answered with a longer response; a client sends its
+// next request only after receiving the previous response. This is the
+// software pattern whose buffer-allocation and retry layers the paper
+// argues CR/FCR eliminate.
+type RPC struct {
+	Nodes      int
+	Servers    []topology.NodeID
+	Rounds     int
+	RequestLen int
+	ReplyLen   int
+
+	clientRound []int // completed rounds per client; -1 for server nodes
+	inFlight    map[Tag]rpcRef
+	remaining   int
+	nextTag     Tag
+}
+
+type rpcRef struct {
+	client  topology.NodeID
+	server  topology.NodeID
+	isReply bool
+}
+
+// NewRPC constructs the client/server workload. Every non-server node is
+// a client of server `client mod len(servers)`.
+func NewRPC(nodes int, servers []topology.NodeID, rounds, reqLen, repLen int) *RPC {
+	if nodes < 2 || len(servers) == 0 || rounds < 1 || reqLen < 1 || repLen < 1 {
+		panic(fmt.Sprintf("workload: rpc nodes=%d servers=%d rounds=%d", nodes, len(servers), rounds))
+	}
+	r := &RPC{
+		Nodes:       nodes,
+		Servers:     servers,
+		Rounds:      rounds,
+		RequestLen:  reqLen,
+		ReplyLen:    repLen,
+		clientRound: make([]int, nodes),
+		inFlight:    make(map[Tag]rpcRef),
+	}
+	isServer := map[topology.NodeID]bool{}
+	for _, s := range servers {
+		isServer[s] = true
+	}
+	clients := 0
+	for n := 0; n < nodes; n++ {
+		if isServer[topology.NodeID(n)] {
+			r.clientRound[n] = -1
+			continue
+		}
+		clients++
+	}
+	if clients == 0 {
+		panic("workload: rpc has no clients")
+	}
+	r.remaining = clients * rounds
+	return r
+}
+
+// Name implements Workload.
+func (r *RPC) Name() string {
+	return fmt.Sprintf("rpc(servers=%d,rounds=%d,%d/%d)", len(r.Servers), r.Rounds, r.RequestLen, r.ReplyLen)
+}
+
+func (r *RPC) serverOf(client topology.NodeID) topology.NodeID {
+	return r.Servers[int(client)%len(r.Servers)]
+}
+
+func (r *RPC) request(client topology.NodeID) Msg {
+	server := r.serverOf(client)
+	r.nextTag++
+	r.inFlight[r.nextTag] = rpcRef{client: client, server: server}
+	return Msg{Tag: r.nextTag, Src: client, Dst: server, DataLen: r.RequestLen}
+}
+
+// Start implements Workload.
+func (r *RPC) Start() []Msg {
+	var msgs []Msg
+	for n := 0; n < r.Nodes; n++ {
+		if r.clientRound[n] >= 0 {
+			msgs = append(msgs, r.request(topology.NodeID(n)))
+		}
+	}
+	return msgs
+}
+
+// Deliver implements Workload.
+func (r *RPC) Deliver(tag Tag) []Msg {
+	ref, ok := r.inFlight[tag]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown rpc tag %d", tag))
+	}
+	delete(r.inFlight, tag)
+	if !ref.isReply {
+		// Request arrived at the server: send the response.
+		r.nextTag++
+		r.inFlight[r.nextTag] = rpcRef{client: ref.client, server: ref.server, isReply: true}
+		return []Msg{{Tag: r.nextTag, Src: ref.server, Dst: ref.client, DataLen: r.ReplyLen}}
+	}
+	// Response arrived at the client: round complete.
+	r.remaining--
+	c := int(ref.client)
+	r.clientRound[c]++
+	if r.clientRound[c] < r.Rounds {
+		return []Msg{r.request(ref.client)}
+	}
+	return nil
+}
+
+// Done implements Workload.
+func (r *RPC) Done() bool { return r.remaining == 0 }

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/network"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+)
+
+func crNet(topo topology.Topology) *network.Network {
+	return network.New(network.Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Check:    true,
+	})
+}
+
+func dorNet(topo topology.Topology) *network.Network {
+	return network.New(network.Config{
+		Topo:     topo,
+		Alg:      routing.DOR{},
+		Protocol: core.Plain,
+		BufDepth: 4,
+		Check:    true,
+	})
+}
+
+func TestStencilCompletes(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	w := NewStencil(g, 5, 8)
+	res, err := Drive(crNet(g), w, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("stencil did not complete: %+v", res)
+	}
+	// 16 nodes x 4 neighbors x 5 iterations halo messages.
+	if res.Messages != 16*4*5 {
+		t.Fatalf("messages = %d, want %d", res.Messages, 16*4*5)
+	}
+	if res.DataFlits != res.Messages*8 {
+		t.Fatalf("flits = %d", res.DataFlits)
+	}
+}
+
+func TestStencilOnMeshHasFewerEdgeNeighbors(t *testing.T) {
+	g := topology.NewMesh(3, 2)
+	w := NewStencil(g, 2, 4)
+	// Corner nodes have 2 neighbors, edges 3, center 4: total directed
+	// halo messages per iteration = sum of degrees = 2*edges = 2*12=24.
+	start := w.Start()
+	if len(start) != 24 {
+		t.Fatalf("start messages = %d, want 24", len(start))
+	}
+	res, err := Drive(dorNet(g), w, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Messages != 48 {
+		t.Fatalf("mesh stencil result %+v", res)
+	}
+}
+
+func TestStencilIterationOrderingPerNode(t *testing.T) {
+	// With CR's per-channel FIFO and the stencil's ack discipline, the
+	// workload must never see a halo from iteration k+2 while in k.
+	// (The workload panics internally on unknown tags; completing at all
+	// verifies the bookkeeping.)
+	g := topology.NewTorus(4, 2)
+	w := NewStencil(g, 10, 4)
+	res, err := Drive(crNet(g), w, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("stencil incomplete")
+	}
+}
+
+func TestAllToAllCompletesAndCountsExact(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	w := NewAllToAll(g.Nodes(), 8, 2)
+	res, err := Drive(crNet(g), w, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("alltoall incomplete: %+v", res)
+	}
+	want := int64(16 * 15)
+	if res.Messages != want {
+		t.Fatalf("messages = %d, want %d", res.Messages, want)
+	}
+}
+
+func TestAllToAllWindowLimitsStartBurst(t *testing.T) {
+	w := NewAllToAll(8, 4, 3)
+	if got := len(w.Start()); got != 8*3 {
+		t.Fatalf("start burst = %d, want 24", got)
+	}
+	w2 := NewAllToAll(8, 4, 100) // window larger than peers
+	if got := len(w2.Start()); got != 8*7 {
+		t.Fatalf("uncapped start = %d, want 56", got)
+	}
+}
+
+func TestRPCCompletes(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	servers := []topology.NodeID{0, 5}
+	w := NewRPC(g.Nodes(), servers, 3, 2, 16)
+	res, err := Drive(crNet(g), w, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("rpc incomplete: %+v", res)
+	}
+	// 14 clients x 3 rounds x (request + reply).
+	if res.Messages != 14*3*2 {
+		t.Fatalf("messages = %d, want %d", res.Messages, 14*3*2)
+	}
+	wantFlits := int64(14 * 3 * (2 + 16))
+	if res.DataFlits != wantFlits {
+		t.Fatalf("flits = %d, want %d", res.DataFlits, wantFlits)
+	}
+}
+
+func TestRPCSequentialRounds(t *testing.T) {
+	// A client must never have two outstanding requests: after Start,
+	// exactly one message per client.
+	w := NewRPC(16, []topology.NodeID{3}, 5, 2, 8)
+	if got := len(w.Start()); got != 15 {
+		t.Fatalf("start = %d requests, want 15", got)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"stencil 1-D":     func() { NewStencil(topology.NewTorus(4, 1), 1, 1) },
+		"stencil iters":   func() { NewStencil(topology.NewTorus(4, 2), 0, 1) },
+		"alltoall nodes":  func() { NewAllToAll(1, 4, 1) },
+		"rpc no servers":  func() { NewRPC(4, nil, 1, 1, 1) },
+		"rpc all servers": func() { NewRPC(2, []topology.NodeID{0, 1}, 1, 1, 1) },
+		"rpc zero rounds": func() { NewRPC(4, []topology.NodeID{0}, 0, 1, 1) },
+		"rpc zero replen": func() { NewRPC(4, []topology.NodeID{0}, 1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDriveBudgetExhaustion(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	w := NewAllToAll(g.Nodes(), 16, 4)
+	res, err := Drive(crNet(g), w, 50) // far too few cycles
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("workload claimed completion in 50 cycles")
+	}
+	if res.CompletionCycles < 50 {
+		t.Fatalf("budget cycles = %d", res.CompletionCycles)
+	}
+}
+
+func TestDriveRejectsInvalidWorkloadMessages(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	bad := badWorkload{}
+	if _, err := Drive(crNet(g), bad, 100); err == nil {
+		t.Fatal("invalid workload message accepted")
+	}
+}
+
+type badWorkload struct{}
+
+func (badWorkload) Name() string      { return "bad" }
+func (badWorkload) Start() []Msg      { return []Msg{{Tag: 1, Src: 0, Dst: 0, DataLen: 1}} }
+func (badWorkload) Deliver(Tag) []Msg { return nil }
+func (badWorkload) Done() bool        { return false }
+
+func TestWorkloadDeterministicCompletion(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	run := func() int64 {
+		w := NewAllToAll(g.Nodes(), 8, 2)
+		res, err := Drive(crNet(g), w, 400000)
+		if err != nil || !res.Completed {
+			t.Fatalf("run failed: %v %+v", err, res)
+		}
+		return res.CompletionCycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("completion cycles diverged: %d vs %d", a, b)
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	g := topology.NewTorus(4, 2)
+	for _, w := range []Workload{
+		NewStencil(g, 1, 1),
+		NewAllToAll(4, 1, 1),
+		NewRPC(4, []topology.NodeID{0}, 1, 1, 1),
+	} {
+		if w.Name() == "" {
+			t.Error("empty workload name")
+		}
+	}
+}
