@@ -1,0 +1,37 @@
+# Tier-1 verification plus the race-detection gate for the parallel
+# experiment harness. `make verify` is the pre-merge check.
+
+GO ?= go
+
+.PHONY: verify build test vet race race-harness bench results
+
+# Tier-1: build + tests, then vet, then the worker pool's determinism
+# test under the race detector (fast, targeted).
+verify: build test vet race-harness
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full race sweep across every package (slow: includes the network soak
+# tests).
+race:
+	$(GO) test -race ./...
+
+# The harness worker pool and the sim grids it drives, under -race.
+# This includes the determinism regression test that compares
+# parallel=1 against parallel=8 byte for byte.
+race-harness:
+	$(GO) test -race ./internal/harness/... ./internal/sim/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$
+
+# Regenerate the quick-scale result tables checked into the repo.
+results:
+	$(GO) run ./cmd/crbench -exp all -scale quick -quiet > results_quick.txt

@@ -19,14 +19,18 @@ import (
 
 // benchScale keeps the full `go test -bench=.` run to a few minutes: an
 // 8x8 torus with shortened windows and three load points. Shapes match
-// the paper-scale runs; absolute values are noisier.
+// the paper-scale runs; absolute values are noisier. Parallel: 0 runs
+// every grid-based experiment's sweep over the internal/harness worker
+// pool (all cores); results are byte-identical to a serial run, so only
+// wall-clock changes.
 var benchScale = sim.Scale{
-	K:       8,
-	MsgLen:  16,
-	Warmup:  800,
-	Measure: 3000,
-	Loads:   []float64{0.2, 0.5, 0.8},
-	Seed:    1,
+	K:        8,
+	MsgLen:   16,
+	Warmup:   800,
+	Measure:  3000,
+	Loads:    []float64{0.2, 0.5, 0.8},
+	Seed:     1,
+	Parallel: 0,
 }
 
 // runExperiment executes the driver once per iteration and returns the
@@ -247,6 +251,29 @@ func BenchmarkE20SelectionPolicy(b *testing.B) {
 	b.ReportMetric(maxInColumn(b, rows, "first", 3), "first_peak")
 	b.ReportMetric(maxInColumn(b, rows, "least-loaded", 3), "leastloaded_peak")
 }
+
+// benchmarkSweepWorkers runs E5 (the widest converted sweep: 5 series x
+// 3 loads = 15 points) at a fixed worker-pool size, so `go test
+// -bench=SweepWorkers` shows the harness speedup on this machine.
+// Grid results are byte-identical across the variants; only wall-clock
+// differs.
+func benchmarkSweepWorkers(b *testing.B, workers int) {
+	e, ok := sim.ByID("E5")
+	if !ok {
+		b.Fatal("E5 missing")
+	}
+	s := benchScale
+	s.Parallel = workers
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Run(s); tbl.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkSweepWorkers1(b *testing.B)        { benchmarkSweepWorkers(b, 1) }
+func BenchmarkSweepWorkers4(b *testing.B)        { benchmarkSweepWorkers(b, 4) }
+func BenchmarkSweepWorkersAllCores(b *testing.B) { benchmarkSweepWorkers(b, 0) }
 
 func BenchmarkE21PaddingMargin(b *testing.B) {
 	rows := runExperiment(b, "E21")

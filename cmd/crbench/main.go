@@ -5,20 +5,32 @@
 // (or CSV with -csv). -scale quick runs an 8x8 torus with short windows;
 // -scale full reproduces the paper's 16x16 torus.
 //
+// Grid-based experiments run their sweep points over a worker pool
+// (-parallel, default all cores); results are byte-identical for every
+// worker count, so -parallel only changes wall-clock. Progress and
+// timing go to stderr, result tables to stdout. -json additionally
+// writes a versioned machine-readable artifact (schema, git version,
+// config echo, per-point wall-clock) for the BENCH_*.json perf
+// trajectory.
+//
 // Examples:
 //
 //	crbench -list
 //	crbench -exp E3
+//	crbench -exp E5 -parallel 8
 //	crbench -exp all -scale full -csv > results.csv
+//	crbench -exp E1,E5,E20 -json bench.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"crnet/internal/harness"
 	"crnet/internal/sim"
 )
 
@@ -42,10 +54,13 @@ func selectExperiments(arg string) ([]sim.Experiment, error) {
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
-		scale = flag.String("scale", "quick", "quick (8x8, fast) or full (16x16, paper scale)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
+		scale    = flag.String("scale", "quick", "quick (8x8, fast) or full (16x16, paper scale)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial; results identical)")
+		jsonOut  = flag.String("json", "", "also write a versioned JSON results artifact to this file")
+		quiet    = flag.Bool("quiet", false, "suppress progress/timing output on stderr")
 	)
 	flag.Parse()
 
@@ -66,6 +81,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crbench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	s.Parallel = *parallel
+	if !*quiet {
+		s.Progress = os.Stderr
+	}
 
 	selected, err := selectExperiments(*expID)
 	if err != nil {
@@ -73,18 +92,65 @@ func main() {
 		os.Exit(2)
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var art *harness.Artifact
+	if *jsonOut != "" {
+		art = &harness.Artifact{
+			Schema:      harness.SchemaVersion,
+			Tool:        "crbench",
+			CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+			GitDescribe: harness.GitDescribe(),
+			Scale: harness.ScaleEcho{
+				Name: *scale, K: s.K, MsgLen: s.MsgLen,
+				Warmup: s.Warmup, Measure: s.Measure, Loads: s.Loads, Seed: s.Seed,
+			},
+			Parallel: workers,
+		}
+	}
+
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Println()
 		}
+		var sweeps []harness.SweepTiming
+		if art != nil {
+			s.Collect = func(label string, pointMS []float64) {
+				sweeps = append(sweeps, harness.SweepTiming{Label: label, PointMS: pointMS})
+			}
+		}
 		start := time.Now()
 		tbl := e.Run(s)
+		elapsed := time.Since(start)
 		if *csv {
 			fmt.Printf("# %s: %s [%s]\n", e.ID, e.Title, e.Paper)
 			fmt.Print(tbl.CSV())
 		} else {
 			fmt.Print(tbl.String())
-			fmt.Printf("(%s, scale %s, %v)\n", e.Paper, *scale, time.Since(start).Round(time.Millisecond))
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s done (%s, scale %s, %d workers, %v)\n",
+				e.ID, e.Paper, *scale, workers, elapsed.Round(time.Millisecond))
+		}
+		if art != nil {
+			art.Experiments = append(art.Experiments, harness.ExperimentResult{
+				ID: e.ID, Title: e.Title, Paper: e.Paper,
+				Table:     tbl.JSON(),
+				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+				Sweeps:    sweeps,
+			})
+		}
+	}
+
+	if art != nil {
+		if err := art.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s (schema v%d, %d experiments)\n", *jsonOut, art.Schema, len(art.Experiments))
 		}
 	}
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"crnet/internal/routing"
@@ -19,14 +20,26 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "crtopo: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run is main with its dependencies injected so tests can drive the
+// whole flag-to-report path and inspect the output.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crtopo", flag.ContinueOnError)
 	var (
-		topoName = flag.String("topo", "torus", "topology: torus, mesh, hypercube")
-		k        = flag.Int("k", 8, "radix for torus/mesh")
-		dims     = flag.Int("dims", 2, "dimensions (or hypercube order)")
-		from     = flag.Int("from", -1, "source node for route display")
-		to       = flag.Int("to", -1, "destination node for route display")
+		topoName = fs.String("topo", "torus", "topology: torus, mesh, hypercube")
+		k        = fs.Int("k", 8, "radix for torus/mesh")
+		dims     = fs.Int("dims", 2, "dimensions (or hypercube order)")
+		from     = fs.Int("from", -1, "source node for route display")
+		to       = fs.Int("to", -1, "destination node for route display")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var topo topology.Topology
 	switch *topoName {
@@ -37,26 +50,24 @@ func main() {
 	case "hypercube":
 		topo = topology.NewHypercube(*dims)
 	default:
-		fmt.Fprintf(os.Stderr, "crtopo: unknown topology %q\n", *topoName)
-		os.Exit(2)
+		return fmt.Errorf("unknown topology %q", *topoName)
 	}
 
-	fmt.Printf("topology:      %s\n", topo.Name())
-	fmt.Printf("nodes:         %d\n", topo.Nodes())
-	fmt.Printf("degree:        %d ports/node\n", topo.Degree())
-	fmt.Printf("diameter:      %d hops\n", topo.Diameter())
-	fmt.Printf("avg distance:  %.3f hops (distinct pairs)\n", topo.AverageDistance())
-	fmt.Printf("capacity:      %.4f flits/node/cycle (uniform traffic)\n", traffic.CapacityFlitsPerNode(topo))
+	fmt.Fprintf(stdout, "topology:      %s\n", topo.Name())
+	fmt.Fprintf(stdout, "nodes:         %d\n", topo.Nodes())
+	fmt.Fprintf(stdout, "degree:        %d ports/node\n", topo.Degree())
+	fmt.Fprintf(stdout, "diameter:      %d hops\n", topo.Diameter())
+	fmt.Fprintf(stdout, "avg distance:  %.3f hops (distinct pairs)\n", topo.AverageDistance())
+	fmt.Fprintf(stdout, "capacity:      %.4f flits/node/cycle (uniform traffic)\n", traffic.CapacityFlitsPerNode(topo))
 
 	if *from < 0 || *to < 0 {
-		return
+		return nil
 	}
 	src, dst := topology.NodeID(*from), topology.NodeID(*to)
 	if int(src) >= topo.Nodes() || int(dst) >= topo.Nodes() {
-		fmt.Fprintln(os.Stderr, "crtopo: node out of range")
-		os.Exit(2)
+		return fmt.Errorf("node out of range")
 	}
-	fmt.Printf("\nroute %d -> %d (distance %d):\n", src, dst, topo.Distance(src, dst))
+	fmt.Fprintf(stdout, "\nroute %d -> %d (distance %d):\n", src, dst, topo.Distance(src, dst))
 
 	// Dimension-order walk with the candidate sets at each hop.
 	alg := routing.DOR{}
@@ -72,18 +83,19 @@ func main() {
 		req.NumVCs = 1
 		min := adaptive.Route(req, nil)
 		if len(dor) == 0 {
-			fmt.Printf("  %4d: no DOR candidate (unreachable)\n", cur)
+			fmt.Fprintf(stdout, "  %4d: no DOR candidate (unreachable)\n", cur)
 			break
 		}
 		c := dor[0]
 		next, _ := topo.Neighbor(cur, c.Port)
-		fmt.Printf("  %4d: DOR -> port %d vc %d (to %d); adaptive ports: %s\n",
+		fmt.Fprintf(stdout, "  %4d: DOR -> port %d vc %d (to %d); adaptive ports: %s\n",
 			cur, c.Port, c.VC, next, portList(min))
 		inPort = topo.ReversePort(cur, c.Port)
 		inVC = c.VC
 		cur = next
 	}
-	fmt.Printf("  %4d: destination\n", dst)
+	fmt.Fprintf(stdout, "  %4d: destination\n", dst)
+	return nil
 }
 
 func portList(cands []routing.Candidate) string {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"crnet/internal/core"
@@ -23,24 +24,35 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "crtrace: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run is main with its dependencies injected so tests can drive the
+// whole flag-to-trace path and inspect the output.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crtrace", flag.ContinueOnError)
 	var (
-		k         = flag.Int("k", 8, "torus radix")
-		protocol  = flag.String("protocol", "cr", "protocol: cr or fcr")
-		load      = flag.Float64("load", 0.6, "offered load (fraction of capacity)")
-		msgLen    = flag.Int("msglen", 16, "message length in flits")
-		faultRate = flag.Float64("fault-rate", 0, "transient corruption rate per flit-hop")
-		msgID     = flag.Int64("msg", 0, "message id to trace (0 = first message that gets killed or FKILLed)")
-		cycles    = flag.Int64("cycles", 20000, "maximum cycles to simulate")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
+		k         = fs.Int("k", 8, "torus radix")
+		protocol  = fs.String("protocol", "cr", "protocol: cr or fcr")
+		load      = fs.Float64("load", 0.6, "offered load (fraction of capacity)")
+		msgLen    = fs.Int("msglen", 16, "message length in flits")
+		faultRate = fs.Float64("fault-rate", 0, "transient corruption rate per flit-hop")
+		msgID     = fs.Int64("msg", 0, "message id to trace (0 = first message that gets killed or FKILLed)")
+		cycles    = fs.Int64("cycles", 20000, "maximum cycles to simulate")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	proto := core.CR
 	if *protocol == "fcr" {
 		proto = core.FCR
 	} else if *protocol != "cr" {
-		fmt.Fprintf(os.Stderr, "crtrace: protocol must be cr or fcr\n")
-		os.Exit(2)
+		return fmt.Errorf("protocol must be cr or fcr")
 	}
 	topo := topology.NewTorus(*k, 2)
 	net := network.New(network.Config{
@@ -78,11 +90,11 @@ func main() {
 		}
 	}
 	if target == 0 {
-		fmt.Println("crtrace: no message was killed in the window; rerun with higher -load or -fault-rate")
-		return
+		fmt.Fprintln(stdout, "crtrace: no message was killed in the window; rerun with higher -load or -fault-rate")
+		return nil
 	}
 
-	fmt.Printf("trace of message %d (%s, %s, load %.2f):\n", target, topo.Name(), proto, *load)
+	fmt.Fprintf(stdout, "trace of message %d (%s, %s, load %.2f):\n", target, topo.Name(), proto, *load)
 	shown := 0
 	for _, e := range events {
 		if int64(e.Worm.Message()) != target {
@@ -96,13 +108,14 @@ func main() {
 		if e.Kind == network.EvInject && e.Seq > 0 {
 			continue
 		}
-		fmt.Println(" ", e)
+		fmt.Fprintln(stdout, " ", e)
 		shown++
 	}
-	fmt.Printf("(%d events shown; head-flit hops and protocol events only)\n", shown)
+	fmt.Fprintf(stdout, "(%d events shown; head-flit hops and protocol events only)\n", shown)
 	if !delivered {
-		fmt.Println("note: message was still undelivered when tracing stopped")
+		fmt.Fprintln(stdout, "note: message was still undelivered when tracing stopped")
 	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -1,0 +1,106 @@
+// The determinism regression test: a harness grid executed serially
+// and with 8 workers must render byte-identical tables and canonical
+// JSON artifacts. Run under -race this also proves the worker pool and
+// the simulator's per-point isolation are data-race free — it is the
+// test the Makefile's race target pins.
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"crnet/internal/harness"
+	"crnet/internal/sim"
+)
+
+// detScale is a small grid that still exercises multi-series sweeps
+// (E5 runs 5 series x 2 loads = 10 points).
+var detScale = sim.Scale{
+	K:       4,
+	MsgLen:  8,
+	Warmup:  300,
+	Measure: 1200,
+	Loads:   []float64{0.3, 0.7},
+	Seed:    3,
+}
+
+// runArtifact executes the experiments at the given parallelism and
+// packs results into an artifact the way crbench -json does.
+func runArtifact(t *testing.T, ids []string, parallel int) (tables []string, art harness.Artifact) {
+	t.Helper()
+	s := detScale
+	s.Parallel = parallel
+	art = harness.Artifact{
+		Schema:   harness.SchemaVersion,
+		Tool:     "determinism-test",
+		Scale:    harness.ScaleEcho{Name: "det", K: s.K, MsgLen: s.MsgLen, Warmup: s.Warmup, Measure: s.Measure, Loads: s.Loads, Seed: s.Seed},
+		Parallel: parallel,
+	}
+	for _, id := range ids {
+		var sweeps []harness.SweepTiming
+		s.Collect = func(label string, pointMS []float64) {
+			sweeps = append(sweeps, harness.SweepTiming{Label: label, PointMS: pointMS})
+		}
+		e, ok := sim.ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		tbl := e.Run(s)
+		tables = append(tables, tbl.String())
+		art.Experiments = append(art.Experiments, harness.ExperimentResult{
+			ID: e.ID, Title: e.Title, Paper: e.Paper, Table: tbl.JSON(), Sweeps: sweeps,
+		})
+	}
+	return tables, art
+}
+
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~40 simulations")
+	}
+	ids := []string{"E1", "E5", "E20"}
+	serialTables, serialArt := runArtifact(t, ids, 1)
+	parTables, parArt := runArtifact(t, ids, 8)
+
+	for i := range ids {
+		if serialTables[i] != parTables[i] {
+			t.Errorf("%s: rendered tables differ between parallel=1 and parallel=8:\n--- serial ---\n%s--- parallel ---\n%s",
+				ids[i], serialTables[i], parTables[i])
+		}
+	}
+
+	sj, err := json.MarshalIndent(serialArt.Canonical(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.MarshalIndent(parArt.Canonical(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("canonical JSON artifacts differ between parallel=1 and parallel=8:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+
+	// The sweep timing channel must report one sample per point.
+	for _, e := range parArt.Experiments {
+		if len(e.Sweeps) == 0 {
+			t.Errorf("%s reported no sweep timings", e.ID)
+			continue
+		}
+		for _, sw := range e.Sweeps {
+			if len(sw.PointMS) == 0 {
+				t.Errorf("%s sweep %q has no per-point timings", e.ID, sw.Label)
+			}
+		}
+	}
+}
+
+// TestPerPointSeedsAreIndependent pins the seed-derivation contract:
+// two identical configurations at different grid indices draw different
+// traffic streams, so replicates are real replicates.
+func TestPerPointSeedsAreIndependent(t *testing.T) {
+	if a, b := harness.PointSeed(detScale.Seed, 0), harness.PointSeed(detScale.Seed, 1); a == b {
+		t.Fatal("adjacent points share a seed")
+	}
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports sweep progress (points done/total, ETA) to a writer,
+// normally stderr so that stdout stays byte-identical between runs. It
+// is safe for concurrent use by the worker pool; output is throttled so
+// large sweeps do not flood the terminal.
+type Progress struct {
+	mu        sync.Mutex
+	w         io.Writer
+	label     string
+	total     int
+	done      int
+	start     time.Time
+	last      time.Time
+	minPeriod time.Duration
+	now       func() time.Time // injectable for tests
+}
+
+// NewProgress returns a reporter for a sweep of total points, labelled
+// with label (typically the experiment id). Writes go to w; a nil w
+// disables output but keeps the counters working.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	p := &Progress{
+		w:         w,
+		label:     label,
+		total:     total,
+		minPeriod: time.Second,
+		now:       time.Now,
+	}
+	p.start = p.now()
+	return p
+}
+
+// Point records one completed point and, at most once per second,
+// prints a `label: done/total points (pct%), ETA ...` line.
+func (p *Progress) Point() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	t := p.now()
+	if p.w == nil || (t.Sub(p.last) < p.minPeriod && p.done != p.total) {
+		return
+	}
+	p.last = t
+	fmt.Fprint(p.w, p.line(t))
+}
+
+// line renders the current progress line; the caller holds p.mu.
+func (p *Progress) line(t time.Time) string {
+	pct := 0.0
+	if p.total > 0 {
+		pct = 100 * float64(p.done) / float64(p.total)
+	}
+	eta := "?"
+	if elapsed := t.Sub(p.start); p.done > 0 && p.done < p.total {
+		perPoint := elapsed / time.Duration(p.done)
+		eta = (perPoint * time.Duration(p.total-p.done)).Round(time.Second).String()
+	} else if p.done >= p.total {
+		eta = "done in " + t.Sub(p.start).Round(time.Millisecond).String()
+	}
+	return fmt.Sprintf("%s: %d/%d points (%.0f%%), ETA %s\n", p.label, p.done, p.total, pct, eta)
+}
+
+// Done returns how many points have completed.
+func (p *Progress) Done() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"crnet/internal/core"
 	"crnet/internal/network"
@@ -25,6 +26,18 @@ type Scale struct {
 	Loads []float64
 	// Seed drives all stochastic processes.
 	Seed uint64
+
+	// Parallel bounds the harness worker pool used by grid-based
+	// experiment drivers: 0 means runtime.GOMAXPROCS(0), 1 runs
+	// serially. Results are byte-identical for every value.
+	Parallel int
+	// Progress, when non-nil, receives per-sweep progress lines
+	// (points done/total, ETA) — normally os.Stderr so stdout stays
+	// comparable between runs.
+	Progress io.Writer
+	// Collect, when non-nil, receives each sweep's per-point wall-clock
+	// (milliseconds, grid order) for JSON artifacts.
+	Collect func(label string, pointMS []float64)
 }
 
 // Quick is the CI-sized scale: an 8x8 torus and short windows. Shapes
@@ -163,9 +176,9 @@ func loadColumns() []string {
 // traffic, 16-flit messages on the torus.
 func E1LatencyVsLoad(s Scale) *stats.Table {
 	t := stats.NewTable("E1: CR latency/throughput vs offered load ("+s.torus().Name()+")", loadColumns()...)
-	for _, load := range s.Loads {
-		m := s.run(s.crNet(), "uniform", load, s.MsgLen)
-		addLoadRow(t, "CR", load, m)
+	pts := s.loadGrid("CR", "uniform", s.crNet())
+	for i, m := range s.sweep("E1", pts) {
+		addLoadRow(t, pts[i].Series, pts[i].Load, m)
 	}
 	return t
 }
@@ -199,14 +212,15 @@ func E3RetransmissionGap(s Scale) *stats.Table {
 		{"static-128", core.Backoff{Kind: core.BackoffStatic, Gap: 128}},
 		{"dynamic-exp", core.Backoff{Kind: core.BackoffExponential, Gap: 8}},
 	}
+	var pts []Point
 	for _, sc := range schemes {
-		for _, load := range s.Loads {
-			net := s.crNet()
-			net.Timeout = 32
-			net.Backoff = sc.b
-			m := s.run(net, "uniform", load, s.MsgLen)
-			t.AddRow(sc.name, load, m.Throughput, m.AvgLatency, m.KillsPerMsg)
-		}
+		net := s.crNet()
+		net.Timeout = 32
+		net.Backoff = sc.b
+		pts = append(pts, s.loadGrid(sc.name, "uniform", net)...)
+	}
+	for i, m := range s.sweep("E3", pts) {
+		t.AddRow(pts[i].Series, pts[i].Load, m.Throughput, m.AvgLatency, m.KillsPerMsg)
 	}
 	return t
 }
@@ -239,15 +253,12 @@ func E4PDSEstimate(s Scale) *stats.Table {
 // deeper FIFOs.
 func E5BufferDepth(s Scale) *stats.Table {
 	t := stats.NewTable("E5 (Fig. 14a,b): buffer depth, CR depth-2 vs DOR depth sweep", loadColumns()...)
-	for _, load := range s.Loads {
-		m := s.run(s.crNet(), "uniform", load, s.MsgLen)
-		addLoadRow(t, "CR(d=2)", load, m)
-	}
+	pts := s.loadGrid("CR(d=2)", "uniform", s.crNet())
 	for _, depth := range []int{2, 4, 8, 16} {
-		for _, load := range s.Loads {
-			m := s.run(s.dorNet(1, depth), "uniform", load, s.MsgLen)
-			addLoadRow(t, fmt.Sprintf("DOR(d=%d)", depth), load, m)
-		}
+		pts = append(pts, s.loadGrid(fmt.Sprintf("DOR(d=%d)", depth), "uniform", s.dorNet(1, depth))...)
+	}
+	for i, m := range s.sweep("E5", pts) {
+		addLoadRow(t, pts[i].Series, pts[i].Load, m)
 	}
 	return t
 }
@@ -258,21 +269,18 @@ func E5BufferDepth(s Scale) *stats.Table {
 func E6VirtualChannels(s Scale) *stats.Table {
 	t := stats.NewTable("E6 (Fig. 14c,d): virtual channels at equal buffer budget", loadColumns()...)
 	const budget = 16 // flits per physical port for DOR
+	var pts []Point
 	for _, vcs := range []int{1, 2, 4, 8} {
 		net := s.crNet()
 		net.VCs = vcs
-		for _, load := range s.Loads {
-			m := s.run(net, "uniform", load, s.MsgLen)
-			addLoadRow(t, fmt.Sprintf("CR(vc=%d)", vcs), load, m)
-		}
+		pts = append(pts, s.loadGrid(fmt.Sprintf("CR(vc=%d)", vcs), "uniform", net)...)
 	}
 	for _, lanes := range []int{1, 2, 4} {
 		depth := budget / (2 * lanes) // 2 dateline classes per lane
-		net := s.dorNet(lanes, depth)
-		for _, load := range s.Loads {
-			m := s.run(net, "uniform", load, s.MsgLen)
-			addLoadRow(t, fmt.Sprintf("DOR(vc=%d,d=%d)", 2*lanes, depth), load, m)
-		}
+		pts = append(pts, s.loadGrid(fmt.Sprintf("DOR(vc=%d,d=%d)", 2*lanes, depth), "uniform", s.dorNet(lanes, depth))...)
+	}
+	for i, m := range s.sweep("E6", pts) {
+		addLoadRow(t, pts[i].Series, pts[i].Load, m)
 	}
 	return t
 }

@@ -14,15 +14,18 @@ func E20SelectionPolicy(s Scale) *stats.Table {
 	t := stats.NewTable("E20: adaptive output-selection policy ablation",
 		"policy", "pattern", "offered(frac)", "thpt(flits/node/cyc)", "avg_latency", "kills/msg")
 	policies := []router.Selection{router.SelectRotating, router.SelectFirst, router.SelectLeastLoaded}
+	var pts []Point
 	for _, pol := range policies {
 		for _, pattern := range []string{"uniform", "transpose"} {
 			for _, load := range []float64{0.3, 0.6} {
 				net := s.crNet()
 				net.Select = pol
-				m := s.run(net, pattern, load, s.MsgLen)
-				t.AddRow(pol.String(), pattern, load, m.Throughput, m.AvgLatency, m.KillsPerMsg)
+				pts = append(pts, Point{Series: pol.String(), Pattern: pattern, Load: load, MsgLen: s.MsgLen, Net: net})
 			}
 		}
+	}
+	for i, m := range s.sweep("E20", pts) {
+		t.AddRow(pts[i].Series, pts[i].Pattern, pts[i].Load, m.Throughput, m.AvgLatency, m.KillsPerMsg)
 	}
 	return t
 }

@@ -131,20 +131,20 @@ func E12TrafficPatterns(s Scale) *stats.Table {
 		"pattern", "scheme", "offered(frac)", "thpt(flits/node/cyc)", "avg_latency", "note")
 	patterns := []string{"uniform", "transpose", "bit-reversal", "hotspot"}
 	loads := []float64{0.3, 0.5, 0.7}
+	var pts []Point
 	for _, p := range patterns {
 		for _, load := range loads {
-			mc := s.run(s.crNet(), p, load, s.MsgLen)
-			md := s.run(s.dorNet(1, 2), p, load, s.MsgLen)
-			noteC, noteD := "", ""
-			if mc.Saturated() {
-				noteC = "saturated"
-			}
-			if md.Saturated() {
-				noteD = "saturated"
-			}
-			t.AddRow(p, "CR", load, mc.Throughput, mc.AvgLatency, noteC)
-			t.AddRow(p, "DOR", load, md.Throughput, md.AvgLatency, noteD)
+			pts = append(pts,
+				Point{Series: "CR", Pattern: p, Load: load, MsgLen: s.MsgLen, Net: s.crNet()},
+				Point{Series: "DOR", Pattern: p, Load: load, MsgLen: s.MsgLen, Net: s.dorNet(1, 2)})
 		}
+	}
+	for i, m := range s.sweep("E12", pts) {
+		note := ""
+		if m.Saturated() {
+			note = "saturated"
+		}
+		t.AddRow(pts[i].Pattern, pts[i].Series, pts[i].Load, m.Throughput, m.AvgLatency, note)
 	}
 	return t
 }

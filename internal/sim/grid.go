@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"time"
+
+	"crnet/internal/harness"
+	"crnet/internal/network"
+	"crnet/internal/traffic"
+)
+
+// Point is one simulation point in a declarative sweep grid: the full
+// recipe for one independent run. Experiment drivers build a []Point in
+// the order their table rows should appear; the harness executes the
+// grid over a worker pool and hands results back in the same order, so
+// table layout never depends on scheduling.
+type Point struct {
+	// Series labels the point's row group in the result table (e.g.
+	// "CR(d=2)" or a backoff-scheme name).
+	Series string
+	// Pattern is the traffic pattern name (see traffic.ByName).
+	Pattern string
+	// Load is the offered load as a fraction of uniform capacity.
+	Load float64
+	// MsgLen is the message length in flits; ignored when Lengths is set.
+	MsgLen int
+	// Lengths optionally overrides MsgLen with a length model.
+	Lengths traffic.LengthModel
+	// Net is the network configuration under test.
+	Net network.Config
+	// Replicate distinguishes repeated runs of an otherwise identical
+	// point; it is provenance only (each point already derives an
+	// independent seed from its grid index).
+	Replicate int
+}
+
+// sweep executes a point grid over the harness worker pool and returns
+// the metrics in grid order. Each point derives its own traffic seed
+// via splitmix64 from (Scale.Seed, point index), so the stochastic
+// streams are independent of both neighbouring points and worker
+// scheduling: serial and parallel runs are bitwise identical.
+func (s Scale) sweep(label string, points []Point) []Metrics {
+	var onPoint func()
+	if s.Progress != nil {
+		pr := harness.NewProgress(s.Progress, label, len(points))
+		onPoint = pr.Point
+	}
+	durs := make([]float64, len(points))
+	ms := harness.Sweep(len(points), harness.Options{Workers: s.Parallel, OnPoint: onPoint}, func(i int) Metrics {
+		p := points[i]
+		t0 := time.Now()
+		m, err := Run(Config{
+			Net:           p.Net,
+			Pattern:       p.Pattern,
+			Load:          p.Load,
+			MsgLen:        p.MsgLen,
+			Lengths:       p.Lengths,
+			WarmupCycles:  s.Warmup,
+			MeasureCycles: s.Measure,
+			Seed:          harness.PointSeed(s.Seed, i),
+		})
+		if err != nil {
+			panic(err) // experiment grids are static; errors are bugs
+		}
+		durs[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+		return m
+	})
+	if s.Collect != nil {
+		s.Collect(label, durs)
+	}
+	return ms
+}
+
+// loadGrid builds the common sweep shape: one point per offered-load
+// value, all sharing a series label and network config.
+func (s Scale) loadGrid(series, pattern string, net network.Config) []Point {
+	pts := make([]Point, 0, len(s.Loads))
+	for _, load := range s.Loads {
+		pts = append(pts, Point{Series: series, Pattern: pattern, Load: load, MsgLen: s.MsgLen, Net: net})
+	}
+	return pts
+}

@@ -1,0 +1,26 @@
+package stats
+
+// TableJSON is the JSON shape of a Table: the title, the column header
+// and every data row, cells pre-formatted exactly as the text/CSV
+// renderers print them. Keeping cells as strings makes the JSON
+// artifact byte-comparable with the rendered table (same float
+// formatting) and sidesteps float round-tripping.
+type TableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON returns the table's JSON shape. Rows is never nil, so an empty
+// table encodes as [] rather than null.
+func (t *Table) JSON() TableJSON {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	cols := append([]string(nil), t.Columns...)
+	if cols == nil {
+		cols = []string{}
+	}
+	return TableJSON{Title: t.Title, Columns: cols, Rows: rows}
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tbl := NewTable("T: demo", "scheme", "load", "thpt")
+	tbl.AddRow("CR", 0.5, 0.301)
+	tbl.AddRow("DOR", 0.5, 0.148)
+
+	j := tbl.JSON()
+	if j.Title != "T: demo" {
+		t.Fatalf("title = %q", j.Title)
+	}
+	if len(j.Columns) != 3 || j.Columns[2] != "thpt" {
+		t.Fatalf("columns = %v", j.Columns)
+	}
+	if len(j.Rows) != 2 || j.Rows[0][0] != "CR" {
+		t.Fatalf("rows = %v", j.Rows)
+	}
+	// Cells must match the text renderer's formatting exactly.
+	if j.Rows[0][2] != "0.301" || j.Rows[0][1] != "0.5" {
+		t.Fatalf("float formatting drifted: %v", j.Rows[0])
+	}
+
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TableJSON
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[1][0] != "DOR" {
+		t.Fatalf("round trip lost data: %v", back)
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	tbl := NewTable("empty")
+	b, err := json.Marshal(tbl.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if strings.Contains(s, "null") {
+		t.Fatalf("empty table encodes null: %s", s)
+	}
+}
+
+func TestTableJSONIsACopy(t *testing.T) {
+	tbl := NewTable("T", "a")
+	tbl.AddRow("x")
+	j := tbl.JSON()
+	j.Rows[0][0] = "mutated"
+	if tbl.Row(0)[0] != "x" {
+		t.Fatal("JSON() aliases table storage")
+	}
+}
