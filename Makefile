@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-harness bench results
+.PHONY: verify build test vet race race-harness chaos bench results
 
 # Tier-1: build + tests, then vet, then the worker pool's determinism
-# test under the race detector (fast, targeted).
-verify: build test vet race-harness
+# test under the race detector (fast, targeted), then the chaos soak.
+verify: build test vet race-harness chaos
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ race:
 # parallel=1 against parallel=8 byte for byte.
 race-harness:
 	$(GO) test -race ./internal/harness/... ./internal/sim/...
+
+# The E24 chaos soak (random fail/repair timeline + invariant watchdog)
+# under the race detector with a pinned scheduler width, so the step
+# loop's monitor hook is exercised with real goroutine interleaving.
+chaos:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestChaosSoak|TestSweepSurvives|TestSweepPointTimeout' ./internal/sim/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -1,23 +1,32 @@
 // Command crbench regenerates the paper's tables and figures.
 //
-// Each experiment (E1..E21, see DESIGN.md) sweeps the parameter the
+// Each experiment (E1..E24, see DESIGN.md) sweeps the parameter the
 // corresponding figure plots and prints the series as an aligned table
 // (or CSV with -csv). -scale quick runs an 8x8 torus with short windows;
-// -scale full reproduces the paper's 16x16 torus.
+// -scale full reproduces the paper's 16x16 torus. -chaos selects the
+// chaos/robustness subset (E22-E24).
 //
 // Grid-based experiments run their sweep points over a worker pool
 // (-parallel, default all cores); results are byte-identical for every
 // worker count, so -parallel only changes wall-clock. Progress and
 // timing go to stderr, result tables to stdout. -json additionally
 // writes a versioned machine-readable artifact (schema, git version,
-// config echo, per-point wall-clock) for the BENCH_*.json perf
-// trajectory.
+// config echo, per-point wall-clock, per-point failures) for the
+// BENCH_*.json perf trajectory.
+//
+// Sweeps are crash-proof: a point that panics, trips the invariant
+// watchdog, or exceeds -point-timeout is recorded in the artifact's
+// errors section and the remaining points still run. crbench exits
+// non-zero when a property table (E14, E24) contains a FAIL row or any
+// sweep point failed, so CI catches broken protocol claims even though
+// the run itself completes.
 //
 // Examples:
 //
 //	crbench -list
 //	crbench -exp E3
 //	crbench -exp E5 -parallel 8
+//	crbench -chaos -point-timeout 5m -json chaos.json
 //	crbench -exp all -scale full -csv > results.csv
 //	crbench -exp E1,E5,E20 -json bench.json
 package main
@@ -52,13 +61,40 @@ func selectExperiments(arg string) ([]sim.Experiment, error) {
 	return out, nil
 }
 
+// failRows returns the failing property rows of a table: those whose
+// "pass" column reads FAIL. Tables without a pass column have none.
+func failRows(t interface {
+	NumRows() int
+	Row(int) []string
+}, columns []string) []string {
+	passCol := -1
+	for i, c := range columns {
+		if c == "pass" {
+			passCol = i
+		}
+	}
+	if passCol < 0 {
+		return nil
+	}
+	var out []string
+	for i := 0; i < t.NumRows(); i++ {
+		row := t.Row(i)
+		if row[passCol] == "FAIL" {
+			out = append(out, row[0])
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
 		expID    = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
+		chaos    = flag.Bool("chaos", false, "run the chaos/robustness experiments (E22-E24); overrides -exp")
 		scale    = flag.String("scale", "quick", "quick (8x8, fast) or full (16x16, paper scale)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial; results identical)")
+		timeout  = flag.Duration("point-timeout", 0, "per-sweep-point wall-clock budget (0 = unbounded); exceeded points are recorded as errors")
 		jsonOut  = flag.String("json", "", "also write a versioned JSON results artifact to this file")
 		quiet    = flag.Bool("quiet", false, "suppress progress/timing output on stderr")
 	)
@@ -82,11 +118,16 @@ func main() {
 		os.Exit(2)
 	}
 	s.Parallel = *parallel
+	s.PointTimeout = *timeout
 	if !*quiet {
 		s.Progress = os.Stderr
 	}
 
-	selected, err := selectExperiments(*expID)
+	sel := *expID
+	if *chaos {
+		sel = strings.Join(sim.ChaosExperiments, ",")
+	}
+	selected, err := selectExperiments(sel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
 		os.Exit(2)
@@ -111,14 +152,22 @@ func main() {
 		}
 	}
 
+	failed := false
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Println()
 		}
 		var sweeps []harness.SweepTiming
+		var pointErrs []harness.PointError
 		if art != nil {
 			s.Collect = func(label string, pointMS []float64) {
 				sweeps = append(sweeps, harness.SweepTiming{Label: label, PointMS: pointMS})
+			}
+		}
+		s.CollectErrors = func(label string, errs []harness.PointError) {
+			pointErrs = append(pointErrs, errs...)
+			for _, pe := range errs {
+				fmt.Fprintf(os.Stderr, "%s/%s point %d %s: %s\n", e.ID, label, pe.Index, pe.Kind, pe.Err)
 			}
 		}
 		start := time.Now()
@@ -130,6 +179,14 @@ func main() {
 		} else {
 			fmt.Print(tbl.String())
 		}
+		if fr := failRows(tbl, tbl.Columns); len(fr) != 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: FAIL: %s\n", e.ID, strings.Join(fr, "; "))
+		}
+		if len(pointErrs) != 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: %d sweep point(s) failed\n", e.ID, len(pointErrs))
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s done (%s, scale %s, %d workers, %v)\n",
 				e.ID, e.Paper, *scale, workers, elapsed.Round(time.Millisecond))
@@ -140,6 +197,7 @@ func main() {
 				Table:     tbl.JSON(),
 				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 				Sweeps:    sweeps,
+				Errors:    pointErrs,
 			})
 		}
 	}
@@ -152,5 +210,10 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s (schema v%d, %d experiments)\n", *jsonOut, art.Schema, len(art.Experiments))
 		}
+	}
+	if failed {
+		// The artifact is written first: a red run still leaves the full
+		// evidence on disk.
+		os.Exit(1)
 	}
 }

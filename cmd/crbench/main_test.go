@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"crnet/internal/stats"
+)
 
 func TestSelectExperiments(t *testing.T) {
 	all, err := selectExperiments("all")
@@ -20,5 +24,23 @@ func TestSelectExperiments(t *testing.T) {
 	}
 	if _, err := selectExperiments("E1,,E2"); err == nil {
 		t.Fatal("empty id accepted")
+	}
+}
+
+func TestFailRowsDetectsFailCells(t *testing.T) {
+	prop := stats.NewTable("props", "property", "value", "expectation", "pass")
+	prop.AddRow("a", "1", "1", "PASS")
+	prop.AddRow("b", "2", "0", "FAIL")
+	prop.AddRow("c", "0", "0", "PASS")
+	if got := failRows(prop, prop.Columns); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("failRows = %v, want [b]", got)
+	}
+
+	// Tables without a pass column never gate the exit code, even if a
+	// cell happens to contain the string FAIL.
+	plain := stats.NewTable("series", "scheme", "note")
+	plain.AddRow("x", "FAIL")
+	if got := failRows(plain, plain.Columns); got != nil {
+		t.Fatalf("pass-less table produced failures: %v", got)
 	}
 }

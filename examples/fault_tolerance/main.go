@@ -34,8 +34,7 @@ func main() {
 		Seed:          11,
 	}
 	// Kill four random links a third of the way into the run.
-	probe := network.New(base)
-	base.LinkFailures = faults.RandomLinks(probe.Links(), 4, 3000, 5)
+	base.Faults = faults.RandomLinks(network.LinksOf(topo), 4, 3000, 5)
 
 	fmt.Println("FCR on an 8x8 torus: transient corruption (5e-4/flit-hop) + 4 links die at cycle 3000")
 	m, err := sim.Run(sim.Config{
@@ -64,7 +63,7 @@ func main() {
 	// reach the application.
 	unprotected := base
 	unprotected.Protocol = core.CR
-	unprotected.LinkFailures = nil // keep it to transient faults only
+	unprotected.Faults = nil // keep it to transient faults only
 	mu, err := sim.Run(sim.Config{
 		Net:           unprotected,
 		Pattern:       "uniform",

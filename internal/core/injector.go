@@ -62,6 +62,21 @@ type InjStats struct {
 	LateFKills  int64 // FKILLs after the worm completed (must be 0; pad bound check)
 }
 
+// Failure records one message abandoned after exhausting its attempts,
+// for the watchdog's delivery-obligation check: an abandonment is only
+// legitimate if the fault schedule actually disconnected Src from Dst.
+type Failure struct {
+	Msg      flit.MessageID
+	Src, Dst topology.NodeID
+	Created  int64 // message creation cycle
+	Cycle    int64 // abandonment cycle
+	Attempts int
+}
+
+// maxFailureRecords bounds the per-injector failure log so a pathological
+// run cannot grow memory without bound; counters in InjStats stay exact.
+const maxFailureRecords = 1024
+
 // Injector is one node's transmission engine. It owns a FIFO of pending
 // messages and drives one protocol state machine per injection channel.
 // Messages are transmitted serially per channel and a killed message
@@ -81,6 +96,8 @@ type Injector struct {
 	queue  []flit.Message
 	jitter *rng.Source
 	stats  InjStats
+
+	failures []Failure
 }
 
 // NewInjector returns an injector for node using the given injection
@@ -115,6 +132,10 @@ func (in *Injector) backoffGap(attempt int) int64 {
 
 // Stats returns a copy of the injector's counters.
 func (in *Injector) Stats() InjStats { return in.stats }
+
+// Failures returns the abandoned-message records (capped at 1024; the
+// Failed counter in Stats is always exact).
+func (in *Injector) Failures() []Failure { return in.failures }
 
 // QueueLen returns the number of submitted messages not yet being sent.
 func (in *Injector) QueueLen() int { return len(in.queue) }
@@ -225,6 +246,12 @@ func (in *Injector) tickChannel(now int64, i int) {
 		attempt := ch.frame.Attempt + 1
 		if attempt >= in.cfg.maxAttempts() || attempt >= flit.MaxAttempts {
 			in.stats.Failed++
+			if len(in.failures) < maxFailureRecords {
+				in.failures = append(in.failures, Failure{
+					Msg: ch.frame.Msg.ID, Src: ch.frame.Msg.Src, Dst: ch.frame.Msg.Dst,
+					Created: ch.createTime, Cycle: now, Attempts: attempt,
+				})
+			}
 			ch.phase = chIdle
 			// Try to start the next message this cycle.
 			in.tickChannel(now, i)

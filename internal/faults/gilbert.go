@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/rng"
+)
+
+// BurstSpec parameterizes a Gilbert-Elliott two-state bursty corruption
+// process: the channel alternates between a good and a bad state with
+// geometrically distributed sojourn times, and corrupts each traversing
+// flit with the current state's rate. Real transient failure processes
+// (crosstalk episodes, marginal drivers, particle strikes near a link)
+// cluster in time; this model reproduces that clustering while keeping
+// a closed-form average rate for equal-rate comparisons against the
+// i.i.d. Bernoulli process (experiment E22).
+//
+// BurstSpec is immutable configuration and safe to share across
+// simulation points; each network builds its own GilbertElliott process
+// from it.
+type BurstSpec struct {
+	// RateGood and RateBad are the per-traversal corruption
+	// probabilities in each state.
+	RateGood, RateBad float64
+	// MeanGood and MeanBad are the expected state sojourn times, in
+	// flit traversals. Both must be >= 1.
+	MeanGood, MeanBad float64
+}
+
+// Validate reports a descriptive error for out-of-range parameters.
+func (s BurstSpec) Validate() error {
+	if s.RateGood < 0 || s.RateGood > 1 || s.RateBad < 0 || s.RateBad > 1 {
+		return fmt.Errorf("faults: burst rates (%v, %v) outside [0,1]", s.RateGood, s.RateBad)
+	}
+	if s.MeanGood < 1 || s.MeanBad < 1 {
+		return fmt.Errorf("faults: burst sojourns (%v, %v) must be >= 1 traversal", s.MeanGood, s.MeanBad)
+	}
+	return nil
+}
+
+// StationaryRate returns the long-run average corruption probability per
+// traversal: the sojourn-weighted mix of the two state rates. Use it to
+// build a bursty process with the same average rate as a Bernoulli one.
+func (s BurstSpec) StationaryRate() float64 {
+	return (s.MeanGood*s.RateGood + s.MeanBad*s.RateBad) / (s.MeanGood + s.MeanBad)
+}
+
+// EqualRateBurst returns a spec whose stationary rate equals rate but
+// whose corruptions arrive in bursts: the channel is clean in the good
+// state and corrupts at the concentrated rate while a bad episode of
+// mean length meanBad (out of a meanGood+meanBad cycle) lasts. It panics
+// if the concentration pushes the bad-state rate past 1.
+func EqualRateBurst(rate, meanGood, meanBad float64) BurstSpec {
+	s := BurstSpec{
+		RateGood: 0,
+		RateBad:  rate * (meanGood + meanBad) / meanBad,
+		MeanGood: meanGood,
+		MeanBad:  meanBad,
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// GilbertElliott is the bursty corruption process described by a
+// BurstSpec. Construct with NewGilbertElliott; it implements Corrupter.
+type GilbertElliott struct {
+	spec BurstSpec
+	bad  bool
+	rng  *rng.Source
+
+	injected int64
+}
+
+// NewGilbertElliott returns a bursty fault process with its own RNG
+// stream, starting in the good state. It panics on invalid spec.
+func NewGilbertElliott(spec BurstSpec, seed uint64) *GilbertElliott {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &GilbertElliott{spec: spec, rng: rng.New(seed)}
+}
+
+// Apply possibly corrupts f in place and reports whether it did. Each
+// call is one channel traversal: the state advances with probability
+// 1/MeanState and the flit is corrupted with the (pre-transition)
+// state's rate.
+func (g *GilbertElliott) Apply(f *flit.Flit) bool {
+	if g == nil {
+		return false
+	}
+	rate := g.spec.RateGood
+	leave := 1 / g.spec.MeanGood
+	if g.bad {
+		rate = g.spec.RateBad
+		leave = 1 / g.spec.MeanBad
+	}
+	hit := rate > 0 && g.rng.Bernoulli(rate)
+	if g.rng.Bernoulli(leave) {
+		g.bad = !g.bad
+	}
+	if !hit {
+		return false
+	}
+	g.injected++
+	corruptFlit(g.rng, f)
+	return true
+}
+
+// Injected returns how many corruptions have been applied.
+func (g *GilbertElliott) Injected() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.injected
+}

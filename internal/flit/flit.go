@@ -94,6 +94,12 @@ type Flit struct {
 	// faults. It is control metadata (like the tail mark) and is not
 	// covered by the checksum.
 	Detours uint8
+
+	// Hops counts the network channels this worm's head has claimed,
+	// maintained by routers for the livelock watchdog. Like Detours it
+	// is control metadata outside the checksum, and restarts at zero on
+	// each retransmission attempt.
+	Hops uint16
 }
 
 // String implements fmt.Stringer for debugging output.

@@ -14,7 +14,11 @@ import (
 // field change so downstream tooling (trajectory plots, regression
 // diffs across BENCH_*.json files) can refuse payloads it does not
 // understand.
-const SchemaVersion = 1
+//
+// v2: ExperimentResult gained the Errors section — per-point failures
+// (error / panic / timeout) recorded by crash-proof sweeps instead of
+// aborting the whole run.
+const SchemaVersion = 2
 
 // Artifact is the machine-readable record of one harness run: the
 // result series of every experiment executed plus enough provenance
@@ -63,6 +67,11 @@ type ExperimentResult struct {
 	// experiment ran (experiments not yet converted to the harness have
 	// none).
 	Sweeps []SweepTiming `json:"sweeps,omitempty"`
+	// Errors lists sweep points that failed (panicked, errored or timed
+	// out) instead of producing a result. The table rows for those
+	// points carry zero values; a non-empty Errors section marks the
+	// experiment as partial. Absent on fully successful runs.
+	Errors []PointError `json:"errors,omitempty"`
 }
 
 // SweepTiming is the per-point wall-clock of one sweep, in grid order.
@@ -91,6 +100,14 @@ func (a *Artifact) Canonical() Artifact {
 				sweeps[j] = SweepTiming{Label: s.Label, PointMS: make([]float64, len(s.PointMS))}
 			}
 			e.Sweeps = sweeps
+		}
+		if e.Errors != nil {
+			errs := make([]PointError, len(e.Errors))
+			for j, pe := range e.Errors {
+				pe.ElapsedMS = 0
+				errs[j] = pe
+			}
+			e.Errors = errs
 		}
 		c.Experiments[i] = e
 	}

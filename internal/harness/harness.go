@@ -73,9 +73,9 @@ func Sweep[T any](n int, opt Options, fn func(i int) T) []T {
 	// slot, so the only shared state is the index counter and the
 	// panic-forwarding cell.
 	var (
-		next  int64
-		mu    sync.Mutex
-		wg    sync.WaitGroup
+		next     int64
+		mu       sync.Mutex
+		wg       sync.WaitGroup
 		panicked any
 	)
 	claim := func() int {

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSweepSafeAllHealthy(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got, errs := SweepSafe(25, SafeOptions{Options: Options{Workers: workers}},
+			func(i int, _ <-chan struct{}) (int, error) { return i * i, nil })
+		if len(errs) != 0 {
+			t.Fatalf("workers=%d: healthy sweep reported errors: %v", workers, errs)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSweepSafeEmpty(t *testing.T) {
+	got, errs := SweepSafe(0, SafeOptions{}, func(i int, _ <-chan struct{}) (int, error) { return i, nil })
+	if got != nil || errs != nil {
+		t.Fatalf("empty sweep returned %v, %v", got, errs)
+	}
+}
+
+// The acceptance criterion: a sweep containing a panicking point and a
+// hanging point still completes, reports both failures, and returns the
+// results of every other point.
+func TestSweepSafeSurvivesPanicAndHang(t *testing.T) {
+	const n = 12
+	got, errs := SweepSafe(n, SafeOptions{
+		Options:      Options{Workers: 4},
+		PointTimeout: 100 * time.Millisecond,
+	}, func(i int, cancel <-chan struct{}) (int, error) {
+		switch i {
+		case 3:
+			panic(fmt.Sprintf("point %d exploded", i))
+		case 7:
+			<-cancel // hang until told to stop
+			return 0, errors.New("cancelled")
+		case 9:
+			return 0, fmt.Errorf("point %d failed politely", i)
+		}
+		return i * 10, nil
+	})
+	if len(errs) != 3 {
+		t.Fatalf("want 3 point errors, got %v", errs)
+	}
+	want := map[int]string{3: PointPanicKind, 7: PointTimedOut, 9: PointErrKind}
+	for _, pe := range errs {
+		if want[pe.Index] != pe.Kind {
+			t.Fatalf("point %d recorded kind %q, want %q (%+v)", pe.Index, pe.Kind, want[pe.Index], pe)
+		}
+		if pe.Err == "" {
+			t.Fatalf("point %d has empty error text", pe.Index)
+		}
+		delete(want, pe.Index)
+	}
+	for i, v := range got {
+		switch i {
+		case 3, 7, 9:
+			if v != 0 {
+				t.Fatalf("failed point %d has non-zero result %d", i, v)
+			}
+		default:
+			if v != i*10 {
+				t.Fatalf("healthy point %d lost its result: got %d, want %d", i, v, i*10)
+			}
+		}
+	}
+}
+
+func TestSweepSafeErrorsSortedByIndex(t *testing.T) {
+	_, errs := SweepSafe(20, SafeOptions{Options: Options{Workers: 8}},
+		func(i int, _ <-chan struct{}) (int, error) {
+			if i%3 == 0 {
+				return 0, errors.New("x")
+			}
+			return i, nil
+		})
+	for j := 1; j < len(errs); j++ {
+		if errs[j-1].Index >= errs[j].Index {
+			t.Fatalf("errors not sorted by index: %v", errs)
+		}
+	}
+	if len(errs) != 7 {
+		t.Fatalf("want 7 errors, got %d", len(errs))
+	}
+}
+
+func TestSweepSafeSerialDoesNotStallOnHang(t *testing.T) {
+	// Workers=1 must still time out a hung point and finish the rest.
+	start := time.Now()
+	got, errs := SweepSafe(4, SafeOptions{
+		Options:      Options{Workers: 1},
+		PointTimeout: 50 * time.Millisecond,
+	}, func(i int, cancel <-chan struct{}) (int, error) {
+		if i == 1 {
+			<-cancel
+			return 0, errors.New("cancelled")
+		}
+		return i + 1, nil
+	})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("serial sweep stalled on the hung point")
+	}
+	if len(errs) != 1 || errs[0].Index != 1 || errs[0].Kind != PointTimedOut {
+		t.Fatalf("want one timeout at index 1, got %v", errs)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if got[i] != i+1 {
+			t.Fatalf("point %d result %d, want %d", i, got[i], i+1)
+		}
+	}
+}
+
+// The failures reach the artifact's errors section and survive a JSON
+// round trip; Canonical strips only the wall-clock portion.
+func TestArtifactErrorsSection(t *testing.T) {
+	_, errs := SweepSafe(3, SafeOptions{Options: Options{Workers: 1}},
+		func(i int, _ <-chan struct{}) (int, error) {
+			if i == 1 {
+				panic("boom")
+			}
+			return i, nil
+		})
+	a := Artifact{
+		Schema: SchemaVersion,
+		Tool:   "crbench",
+		Scale:  ScaleEcho{Name: "quick"},
+		Experiments: []ExperimentResult{
+			{ID: "E24", Title: "chaos", Errors: errs, ElapsedMS: 12},
+		},
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"errors"`) || !strings.Contains(buf.String(), `"panic"`) {
+		t.Fatalf("artifact JSON missing errors section:\n%s", buf.String())
+	}
+	var back Artifact
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments[0].Errors) != 1 {
+		t.Fatalf("errors lost in round trip: %+v", back.Experiments[0])
+	}
+	pe := back.Experiments[0].Errors[0]
+	if pe.Index != 1 || pe.Kind != PointPanicKind || pe.Err != "boom" {
+		t.Fatalf("round-tripped error mangled: %+v", pe)
+	}
+
+	c := a.Canonical()
+	if got := c.Experiments[0].Errors[0]; got.ElapsedMS != 0 {
+		t.Fatalf("Canonical kept error timing: %+v", got)
+	}
+	if got := c.Experiments[0].Errors[0]; got.Index != 1 || got.Kind != PointPanicKind {
+		t.Fatalf("Canonical dropped error identity: %+v", got)
+	}
+	if a.Experiments[0].Errors[0].ElapsedMS == 0 && errs[0].ElapsedMS != 0 {
+		t.Fatal("Canonical mutated the original artifact")
+	}
+}

@@ -9,7 +9,8 @@
 //     arrivals, so a chasing kill clears a channel before a successor
 //     worm's head can land on it).
 //  2. Link arrivals from the previous cycle (transient faults applied).
-//  3. Permanent link-failure events and their tear-down sweeps.
+//  3. Fault-timeline events: link/node failures with their tear-down
+//     sweeps, and repairs that bring links back up.
 //  4. Injector ticks (protocol state machines push flits, detect
 //     timeouts, issue kills).
 //  5. Routing and output virtual-channel allocation.
@@ -17,6 +18,8 @@
 //     reach receivers, receiver FKILL requests are queued.
 //  7. Receiver FKILL tear-downs (local; propagation next cycle).
 //  8. Credit application (credits earned this cycle become visible next).
+//  9. Invariant checks (Config.Check) and the installed health Monitor
+//     (SetMonitor), which can latch the network unhealthy.
 package network
 
 import (
@@ -65,12 +68,19 @@ type Config struct {
 	// PadAdjust tweaks CR/FCR padding for the padding-margin ablation.
 	PadAdjust int
 
-	// TransientRate is the per-flit, per-link corruption probability.
+	// TransientRate is the per-flit, per-link corruption probability
+	// (i.i.d. Bernoulli). Ignored when Burst is set.
 	TransientRate float64
+	// Burst, when non-nil, selects Gilbert-Elliott bursty corruption
+	// instead of the Bernoulli process. The spec is immutable and safe
+	// to share across networks; each network builds its own stateful
+	// process from it.
+	Burst *faults.BurstSpec
 	// Seed seeds the transient fault process.
 	Seed uint64
-	// LinkFailures schedules permanent link deaths.
-	LinkFailures *faults.Schedule
+	// Faults schedules the permanent-fault timeline: link and node
+	// failures and repairs.
+	Faults *faults.Schedule
 
 	// Check enables router invariant verification every cycle (slow;
 	// tests only).
@@ -135,6 +145,12 @@ type link struct {
 	toNode topology.NodeID
 	toPort int // input port index at toNode
 
+	// downRefs reference-counts failure causes: a link can be taken
+	// down both by its own LinkEvent and by an incident NodeEvent, and
+	// only comes back up when every cause has been repaired. up is true
+	// iff downRefs == 0.
+	downRefs int
+
 	busy bool
 	vc   int
 	f    flit.Flit
@@ -180,17 +196,22 @@ type Network struct {
 	sigNow     []scheduledSignal // being processed this cycle
 	credits    []creditEvent
 	fkills     []fkillReq
-	transient  *faults.Transient
+	corrupter  faults.Corrupter
 	emitBuf    []router.Emit
 	wormBuf    []router.WormAt
 	deliveries []core.Delivery
 
-	tracer Tracer
+	tracer  Tracer
+	monitor Monitor
+	health  error
 
 	lastProgress  int64
+	lastFault     int64 // cycle of the most recent fault-timeline event
 	killsDropped  int64 // signals dropped at dead links
 	flitsDropped  int64 // in-flight flits lost to link death
 	flitsDegraded int64 // transient corruptions applied on links
+	flitsInjected int64 // flits entering the network at injection ports
+	flitsEjected  int64 // flits leaving the network at ejection ports
 }
 
 // New builds the network. It panics on invalid configuration.
@@ -200,6 +221,12 @@ func New(cfg Config) *Network {
 	}
 	topo := cfg.Topo
 	nodes := topo.Nodes()
+	var corrupter faults.Corrupter
+	if cfg.Burst != nil {
+		corrupter = faults.NewGilbertElliott(*cfg.Burst, cfg.Seed)
+	} else {
+		corrupter = faults.NewTransient(cfg.TransientRate, cfg.Seed)
+	}
 	n := &Network{
 		cfg:       cfg,
 		topo:      topo,
@@ -207,7 +234,8 @@ func New(cfg Config) *Network {
 		injectors: make([]*core.Injector, nodes),
 		receivers: make([]*core.Receiver, nodes),
 		links:     make([][]link, nodes),
-		transient: faults.NewTransient(cfg.TransientRate, cfg.Seed),
+		corrupter: corrupter,
+		lastFault: -1,
 	}
 	rcfg := cfg.routerConfig()
 	ccfg := cfg.coreConfig()
@@ -254,6 +282,7 @@ func (p injPort) Free() int {
 
 func (p injPort) Inject(f flit.Flit) {
 	p.net.trace(EvInject, p.node, p.ch, 0, f.Worm, f.Seq)
+	p.net.flitsInjected++
 	p.net.routers[p.node].Inject(p.ch, f)
 }
 
@@ -308,6 +337,21 @@ func (n *Network) Links() []faults.LinkID {
 	for id := range n.links {
 		for p := range n.links[id] {
 			if n.links[id][p].exists {
+				out = append(out, faults.LinkID{Node: id, Port: p})
+			}
+		}
+	}
+	return out
+}
+
+// LinksOf enumerates every unidirectional link of a topology without
+// constructing a network — the cheap way to build fault schedules
+// before the (expensive) network exists.
+func LinksOf(topo topology.Topology) []faults.LinkID {
+	var out []faults.LinkID
+	for id := 0; id < topo.Nodes(); id++ {
+		for p := 0; p < topo.Degree(); p++ {
+			if _, ok := topo.Neighbor(topology.NodeID(id), topology.Port(p)); ok {
 				out = append(out, faults.LinkID{Node: id, Port: p})
 			}
 		}
@@ -388,7 +432,7 @@ func (n *Network) ReceiverStats() core.RecvStats {
 }
 
 // TransientFaults returns how many corruptions the fault process applied.
-func (n *Network) TransientFaults() int64 { return n.transient.Injected() }
+func (n *Network) TransientFaults() int64 { return n.corrupter.Injected() }
 
 // DroppedKillSignals returns tear-down signals dropped at dead links
 // (their work is completed by the dead-link sweep instead).

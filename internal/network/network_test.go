@@ -318,7 +318,7 @@ func TestPermanentFaultReroutedWithMisroute(t *testing.T) {
 		Backoff:       core.Backoff{Kind: core.BackoffExponential, Gap: 8},
 		MisrouteAfter: 2,
 		MaxDetours:    4,
-		LinkFailures:  faults.NewSchedule([]faults.Event{{Cycle: 40, Link: linkList[0]}}),
+		Faults:        faults.NewSchedule([]faults.Event{{Cycle: 40, Link: linkList[0]}}),
 		Check:         true,
 	})
 	// Steady stream from node 0 to node 1 (straight over the doomed link).

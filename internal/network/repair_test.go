@@ -1,0 +1,266 @@
+package network
+
+import (
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/faults"
+	"crnet/internal/flit"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+)
+
+// linkUp reads a link's up state through LinkLoads.
+func linkUp(t *testing.T, n *Network, id faults.LinkID) bool {
+	t.Helper()
+	for _, l := range n.LinkLoads() {
+		if l.Link == id {
+			return l.Up
+		}
+	}
+	t.Fatalf("link %v not found", id)
+	return false
+}
+
+func TestLinksOfMatchesNetworkLinks(t *testing.T) {
+	for _, topo := range []topology.Topology{
+		topology.NewTorus(4, 2),
+		topology.NewMesh(4, 2),
+		topology.NewHypercube(3),
+	} {
+		n := crNet(topo)
+		a, b := LinksOf(topo), n.Links()
+		if len(a) != len(b) {
+			t.Fatalf("%s: LinksOf %d links, network %d", topo.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: link %d differs: %v vs %v", topo.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// A link that fails and is later repaired: traffic over it stalls and
+// retries during the outage, then completes after the repair — with
+// nothing abandoned and the flit ledger balanced.
+func TestLinkFailThenRepairRecovers(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	doomed := faults.LinkID{Node: 0, Port: int(topology.PortFor(0, true))}
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.FCR,
+		Backoff:  core.Backoff{Kind: core.BackoffStatic, Gap: 8},
+		Faults: faults.NewSchedule([]faults.Event{
+			{Cycle: 40, Link: doomed},
+			{Cycle: 400, Link: doomed, Up: true},
+		}),
+		Check: true,
+	})
+	// 0 -> 1 is distance 1: with no misrouting, the doomed link is the
+	// only minimal path, so delivery requires the repair.
+	for i := 1; i <= 10; i++ {
+		n.SubmitMessage(flit.Message{ID: flit.MessageID(i), Src: 0, Dst: 1, DataLen: 8})
+	}
+	n.Run(100)
+	if linkUp(t, n, doomed) {
+		t.Fatal("link still up after failure event")
+	}
+	ds := runUntilIdle(t, n, 300000)
+	if !linkUp(t, n, doomed) {
+		t.Fatal("link still down after repair event")
+	}
+	if int64(len(ds)) != n.InjectorStats().Submitted {
+		t.Fatalf("delivered %d of %d after repair", len(ds), n.InjectorStats().Submitted)
+	}
+	for _, d := range ds {
+		if !d.DataOK {
+			t.Fatalf("corrupt delivery %+v", d)
+		}
+	}
+	if n.InjectorStats().Failed != 0 {
+		t.Fatalf("%d messages abandoned despite repair", n.InjectorStats().Failed)
+	}
+	if err := n.Ledger().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A node failure takes down every incident link (both directions); the
+// matching repair brings them all back and traffic through the node
+// completes.
+func TestNodeFailureAndRepair(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.FCR,
+		Backoff:  core.Backoff{Kind: core.BackoffStatic, Gap: 8},
+		Faults: faults.NewSchedule([]faults.Event{
+			{Cycle: 40, Kind: faults.NodeEvent, Node: 5},
+			{Cycle: 600, Kind: faults.NodeEvent, Node: 5, Up: true},
+		}),
+		Check: true,
+	})
+	id := flit.MessageID(1)
+	for round := 0; round < 4; round++ {
+		for src := 0; src < topo.Nodes(); src++ {
+			if src == 5 {
+				continue // the doomed node neither sends nor receives here
+			}
+			dst := (src + 7 + round) % topo.Nodes()
+			if dst == src || dst == 5 {
+				continue
+			}
+			n.SubmitMessage(flit.Message{ID: id, Src: topology.NodeID(src), Dst: topology.NodeID(dst), DataLen: 8})
+			id++
+		}
+	}
+	n.Run(100)
+	downCount := 0
+	for _, l := range n.LinkLoads() {
+		if !l.Up {
+			downCount++
+		}
+	}
+	// Degree-4 node: 4 outgoing + 4 incoming directed links dead.
+	if downCount != 8 {
+		t.Fatalf("%d links down after node failure, want 8", downCount)
+	}
+	ds := runUntilIdle(t, n, 400000)
+	if c := n.Cycle(); c <= 600 {
+		n.Run(601 - c) // make sure the repair event has fired
+	}
+	for _, l := range n.LinkLoads() {
+		if !l.Up {
+			t.Fatalf("link %v still down after node repair", l.Link)
+		}
+	}
+	if int64(len(ds)) != n.InjectorStats().Submitted {
+		t.Fatalf("delivered %d of %d around/after the dead node", len(ds), n.InjectorStats().Submitted)
+	}
+	if err := n.Ledger().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Overlapping failure causes are reference counted: a link killed by
+// both its own event and its node's event needs both repairs.
+func TestOverlappingFaultCausesRefcounted(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	l := faults.LinkID{Node: 0, Port: 0}
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		Backoff:  core.Backoff{Kind: core.BackoffStatic, Gap: 8},
+		Faults: faults.NewSchedule([]faults.Event{
+			{Cycle: 10, Link: l},
+			{Cycle: 20, Kind: faults.NodeEvent, Node: 0},
+			{Cycle: 30, Link: l, Up: true},
+			{Cycle: 50, Kind: faults.NodeEvent, Node: 0, Up: true},
+			{Cycle: 70, Link: l, Up: true}, // repairing an up link: no-op
+		}),
+		Check: true,
+	})
+	n.Run(40)
+	if linkUp(t, n, l) {
+		t.Fatal("link up after one of two causes repaired")
+	}
+	n.Run(20)
+	if !linkUp(t, n, l) {
+		t.Fatal("link down after both causes repaired")
+	}
+	n.Run(40) // the no-op repair must not disturb anything
+	if !linkUp(t, n, l) {
+		t.Fatal("no-op repair changed link state")
+	}
+	if err := n.Ledger().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Gilbert-Elliott process wired through Config.Burst injects
+// corruption that FCR catches: intact delivery, non-zero fault count.
+func TestBurstyCorruptionDeliveredIntact(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	spec := faults.EqualRateBurst(5e-3, 450, 50)
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.FCR,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Burst:    &spec,
+		Seed:     13,
+		Check:    true,
+	})
+	id := flit.MessageID(1)
+	for round := 0; round < 10; round++ {
+		for src := 0; src < topo.Nodes(); src++ {
+			dst := (src + 3 + round) % topo.Nodes()
+			if dst == src {
+				continue
+			}
+			n.SubmitMessage(flit.Message{ID: id, Src: topology.NodeID(src), Dst: topology.NodeID(dst), DataLen: 8})
+			id++
+		}
+	}
+	ds := runUntilIdle(t, n, 500000)
+	if int64(len(ds)) != n.InjectorStats().Submitted {
+		t.Fatalf("delivered %d of %d under bursty faults", len(ds), n.InjectorStats().Submitted)
+	}
+	for _, d := range ds {
+		if !d.DataOK {
+			t.Fatalf("corrupt delivery %+v", d)
+		}
+	}
+	if n.TransientFaults() == 0 {
+		t.Fatal("bursty process injected nothing; test vacuous")
+	}
+}
+
+// A random MTBF/MTTR chaos timeline with the conservation ledger checked
+// every cycle: whatever fails and repairs, no flit may be lost or
+// duplicated.
+func TestChaosTimelineConservesFlits(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	cfg := Config{
+		Topo:          topo,
+		Alg:           routing.MinimalAdaptive{},
+		Protocol:      core.FCR,
+		Backoff:       core.Backoff{Kind: core.BackoffStatic, Gap: 8},
+		MisrouteAfter: 2,
+		MaxDetours:    4,
+		Check:         true,
+	}
+	cfg.Faults = faults.RandomTimeline(faults.TimelineConfig{
+		Links:    LinksOf(topo),
+		Nodes:    []int{3, 9},
+		LinkMTBF: 4000, LinkMTTR: 150,
+		NodeMTBF: 12000, NodeMTTR: 200,
+		Start: 50, Horizon: 4000, Seed: 21,
+	})
+	n := New(cfg)
+	id := flit.MessageID(1)
+	for round := 0; round < 6; round++ {
+		for src := 0; src < topo.Nodes(); src++ {
+			dst := (src + 5 + round) % topo.Nodes()
+			if dst == src {
+				continue
+			}
+			n.SubmitMessage(flit.Message{ID: id, Src: topology.NodeID(src), Dst: topology.NodeID(dst), DataLen: 8})
+			id++
+		}
+	}
+	for c := 0; c < 8000; c++ {
+		n.Step()
+		n.DrainDeliveries()
+		if err := n.Ledger().Check(); err != nil {
+			t.Fatalf("cycle %d: %v", n.Cycle(), err)
+		}
+	}
+	if n.TransientFaults() != 0 {
+		t.Fatal("no transient process configured but corruptions counted")
+	}
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"crnet/internal/faults"
 	"crnet/internal/flit"
 	"crnet/internal/router"
 	"crnet/internal/topology"
@@ -19,7 +20,7 @@ func (n *Network) Step() {
 	progressed := false
 	n.phaseSignals()
 	progressed = n.phaseArrivals() || progressed
-	n.phaseLinkFailures()
+	n.phaseFaultEvents()
 	n.phaseInjectors()
 	n.phaseAllocate()
 	progressed = n.phaseTransmit() || progressed
@@ -33,6 +34,11 @@ func (n *Network) Step() {
 			if err := r.CheckInvariants(); err != nil {
 				panic(fmt.Sprintf("cycle %d: %v", n.cycle, err))
 			}
+		}
+	}
+	if n.monitor != nil && n.health == nil {
+		if err := n.monitor.AfterStep(n); err != nil {
+			n.health = err
 		}
 	}
 	n.cycle++
@@ -64,7 +70,7 @@ func (n *Network) phaseArrivals() bool {
 				n.flitsDropped++
 				continue
 			}
-			if n.transient.Apply(&f) {
+			if n.corrupter.Apply(&f) {
 				n.flitsDegraded++
 				n.trace(EvCorrupt, l.toNode, l.toPort, l.vc, f.Worm, f.Seq)
 			}
@@ -79,41 +85,114 @@ func (n *Network) phaseArrivals() bool {
 	return any
 }
 
-// phaseLinkFailures applies scheduled permanent faults: the link is
-// marked dead and every worm holding it is torn down — backward from the
-// upstream side (so its source retries on another path) and forward from
-// the downstream side (so the orphaned fragment is reclaimed).
-func (n *Network) phaseLinkFailures() {
-	for _, ev := range n.cfg.LinkFailures.Pop(n.cycle) {
-		id, p := ev.Link.Node, ev.Link.Port
-		l := &n.links[id][p]
-		if !l.exists || !l.up {
-			continue
-		}
-		l.up = false
-		n.trace(EvLinkDown, topology.NodeID(id), p, 0, 0, -1)
-		if l.busy {
-			l.busy = false
-			n.flitsDropped++
-		}
-		up := n.routers[id]
-		up.SetLinkDown(p)
-		// Tear down holders on the upstream side.
-		n.wormBuf = up.HeldWorms(p, n.wormBuf[:0])
-		for _, w := range n.wormBuf {
-			sig := router.Signal{Kind: router.KillBwd, Port: p, VC: w.VC, Worm: w.Worm}
-			n.emitBuf = up.ApplySignal(sig, n.emitBuf[:0])
-			n.routeEmits(topology.NodeID(id), n.emitBuf)
-		}
-		// Reclaim the orphaned fragments on the downstream side.
-		down := n.routers[l.toNode]
-		n.wormBuf = down.ActiveWorms(l.toPort, n.wormBuf[:0])
-		for _, w := range n.wormBuf {
-			sig := router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: w.VC, Worm: w.Worm}
-			n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
-			n.routeEmits(l.toNode, n.emitBuf)
+// phaseFaultEvents applies the scheduled fault timeline: link and node
+// failures and repairs. A node event fails (or repairs) every link
+// incident to the node, both directions; causes are reference counted,
+// so a link is up only when every cause of its death has been repaired.
+func (n *Network) phaseFaultEvents() {
+	for _, ev := range n.cfg.Faults.Pop(n.cycle) {
+		n.lastFault = n.cycle
+		switch {
+		case ev.Kind == faults.NodeEvent && !ev.Up:
+			n.forEachIncident(ev.Node, n.failLink)
+		case ev.Kind == faults.NodeEvent && ev.Up:
+			n.forEachIncident(ev.Node, n.repairLink)
+		case ev.Up:
+			n.repairLink(ev.Link.Node, ev.Link.Port)
+		default:
+			n.failLink(ev.Link.Node, ev.Link.Port)
 		}
 	}
+}
+
+// forEachIncident visits every existing directed link touching node:
+// its own output links and each neighbor's link back toward it.
+func (n *Network) forEachIncident(node int, fn func(id, p int)) {
+	for p := range n.links[node] {
+		l := &n.links[node][p]
+		if !l.exists {
+			continue
+		}
+		fn(node, p)
+		fn(int(l.toNode), int(n.topo.ReversePort(topology.NodeID(node), topology.Port(p))))
+	}
+}
+
+// failLink adds one failure cause to a link. On the first cause the link
+// is actually torn down: the in-flight flit (if any) is dropped and
+// every worm holding the link is killed — backward from the upstream
+// side (so its source retries on another path) and forward from the
+// downstream side (so the orphaned fragment is reclaimed).
+func (n *Network) failLink(id, p int) {
+	l := &n.links[id][p]
+	if !l.exists {
+		return
+	}
+	l.downRefs++
+	if l.downRefs > 1 {
+		return // already down for another reason
+	}
+	l.up = false
+	n.trace(EvLinkDown, topology.NodeID(id), p, 0, 0, -1)
+	if l.busy {
+		l.busy = false
+		n.flitsDropped++
+	}
+	up := n.routers[id]
+	up.SetLinkDown(p)
+	// Tear down holders on the upstream side.
+	n.wormBuf = up.HeldWorms(p, n.wormBuf[:0])
+	for _, w := range n.wormBuf {
+		sig := router.Signal{Kind: router.KillBwd, Port: p, VC: w.VC, Worm: w.Worm}
+		n.emitBuf = up.ApplySignal(sig, n.emitBuf[:0])
+		n.routeEmits(topology.NodeID(id), n.emitBuf)
+	}
+	// Reclaim the orphaned fragments on the downstream side.
+	down := n.routers[l.toNode]
+	n.wormBuf = down.ActiveWorms(l.toPort, n.wormBuf[:0])
+	for _, w := range n.wormBuf {
+		sig := router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: w.VC, Worm: w.Worm}
+		n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
+		n.routeEmits(l.toNode, n.emitBuf)
+	}
+}
+
+// repairLink removes one failure cause from a link; when the last cause
+// is gone the link comes back up with empty buffers and full credits.
+// Repairing an up link is a no-op.
+func (n *Network) repairLink(id, p int) {
+	l := &n.links[id][p]
+	if !l.exists || l.downRefs == 0 {
+		return
+	}
+	l.downRefs--
+	if l.downRefs > 0 {
+		return // still down for another reason
+	}
+	// Any worm still occupying the downstream input (possible only if a
+	// tear-down signal racing the failure was dropped) is reclaimed now,
+	// before the state reset.
+	down := n.routers[l.toNode]
+	n.wormBuf = down.ActiveWorms(l.toPort, n.wormBuf[:0])
+	for _, w := range n.wormBuf {
+		sig := router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: w.VC, Worm: w.Worm}
+		n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
+		n.routeEmits(l.toNode, n.emitBuf)
+	}
+	down.ResetInput(l.toPort)
+	// Scrub credit refunds queued for the dead-era output: the repair
+	// resets its credits to full, so applying them would overflow.
+	kept := n.credits[:0]
+	for _, c := range n.credits {
+		if int(c.node) != id || c.port != p {
+			kept = append(kept, c)
+		}
+	}
+	n.credits = kept
+	n.routers[id].SetLinkUp(p)
+	l.up = true
+	l.busy = false
+	n.trace(EvLinkUp, topology.NodeID(id), p, 0, 0, -1)
 }
 
 // phaseSignals delivers the tear-down signals scheduled for this cycle.
@@ -160,6 +239,7 @@ func (n *Network) phaseTransmit() bool {
 				moved = true
 				if outPort >= deg {
 					n.trace(EvEject, node, outPort-deg, 0, f.Worm, f.Seq)
+					n.flitsEjected++
 					rc := n.receivers[node]
 					rc.Accept(outPort-deg, f, n.cycle)
 					return

@@ -31,8 +31,10 @@ const (
 	EvDeliver
 	// EvDiscard: the receiver at Node discarded a partial worm.
 	EvDiscard
-	// EvLinkDown: the link at (Node, Port) failed permanently.
+	// EvLinkDown: the link at (Node, Port) failed.
 	EvLinkDown
+	// EvLinkUp: the link at (Node, Port) was repaired.
+	EvLinkUp
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +58,8 @@ func (k EventKind) String() string {
 		return "DISCARD"
 	case EvLinkDown:
 		return "LINKDOWN"
+	case EvLinkUp:
+		return "LINKUP"
 	default:
 		return fmt.Sprintf("Event(%d)", uint8(k))
 	}

@@ -200,6 +200,11 @@ func (r *Router) claim(p, vc int, v *inVC, head *flit.Flit, c routing.Candidate)
 	if c.Escape {
 		r.stats.PDS++
 	}
+	head.Hops++
+	if int(head.Hops) > r.maxHops {
+		r.maxHops = int(head.Hops)
+		r.maxHopsWorm = head.Worm
+	}
 	next, _ := r.topo.Neighbor(r.id, c.Port)
 	if r.topo.Distance(next, head.Dst) >= r.topo.Distance(r.id, head.Dst) {
 		head.Detours++

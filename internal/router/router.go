@@ -136,7 +136,8 @@ type inVC struct {
 	purgeValid bool
 
 	// blocked counts consecutive cycles a header waited for an output;
-	// used only by the path-wide timeout ablation (Config.RouterTimeout).
+	// used by the path-wide timeout ablation (Config.RouterTimeout) and
+	// by the deadlock watchdog (BlockedWorms).
 	blocked int
 }
 
@@ -229,6 +230,11 @@ type Router struct {
 	allocRR int // rotation for adaptive candidate selection
 	stats   Stats
 
+	// maxHops is the largest per-worm hop count observed here (see
+	// flit.Flit.Hops), the livelock watchdog's raw signal.
+	maxHops     int
+	maxHopsWorm flit.WormID
+
 	candBuf []routing.Candidate
 	inRefs  []inRef // flattened input VC list for switch arbitration
 }
@@ -302,6 +308,42 @@ func (r *Router) LinkUp(p int) bool { return r.outputs[p].linkUp }
 // tear-down for the link's victims is driven by the network via
 // HeldWorms/ActiveWorms and ApplySignal.
 func (r *Router) SetLinkDown(p int) { r.outputs[p].linkUp = false }
+
+// SetLinkUp restores the outgoing link on network port p after a repair:
+// the link comes back with no holders and a fully drained downstream
+// buffer (the network resets the downstream input side in the same
+// event), so every virtual channel is immediately claimable.
+func (r *Router) SetLinkUp(p int) {
+	out := r.outputs[p]
+	out.linkUp = true
+	for vc := range out.vcs {
+		o := &out.vcs[vc]
+		o.held = false
+		o.credit = r.cfg.BufDepth
+	}
+}
+
+// ResetInput clears the residue of a dead upstream link from network
+// input port p after a repair: straggler-absorber markers and blocked
+// counters are dropped. Active worms must already have been torn down
+// (the network sweeps ActiveWorms before calling this); buffered flits
+// of live worms would be a protocol violation.
+func (r *Router) ResetInput(p int) {
+	for vc := range r.inputs[p] {
+		v := r.inputs[p][vc]
+		if v.active || v.count > 0 {
+			panic(fmt.Sprintf("router %d: ResetInput(%d) with live worm %d (%d flits)", r.id, p, v.worm, v.count))
+		}
+		v.purgeValid = false
+		v.purgeWorm = 0
+		v.blocked = 0
+	}
+}
+
+// MaxHops returns the largest per-worm hop count any head flit showed
+// while claiming a channel here, with the worm that set it — the
+// livelock watchdog's raw signal.
+func (r *Router) MaxHops() (int, flit.WormID) { return r.maxHops, r.maxHopsWorm }
 
 // InjectionFree returns the free buffer slots of injection channel ch.
 func (r *Router) InjectionFree(ch int) int {

@@ -180,6 +180,33 @@ func (r *Router) ActiveWorms(p int, buf []WormAt) []WormAt {
 	return buf
 }
 
+// BlockedWorm describes a worm whose header has been stuck at output
+// allocation, for the deadlock watchdog.
+type BlockedWorm struct {
+	Port, VC int
+	Worm     flit.WormID
+	// Blocked is how many consecutive cycles the header has failed
+	// allocation.
+	Blocked int
+}
+
+// BlockedWorms appends every worm (on any input, including injection
+// channels) whose header has been blocked at allocation for at least
+// min consecutive cycles. Worms that are routed, or whose header has
+// not yet reached the buffer front, are progressing by definition and
+// are not reported.
+func (r *Router) BlockedWorms(min int, buf []BlockedWorm) []BlockedWorm {
+	for p := range r.inputs {
+		for vc := range r.inputs[p] {
+			v := r.inputs[p][vc]
+			if v.active && !v.routed && v.blocked >= min {
+				buf = append(buf, BlockedWorm{Port: p, VC: vc, Worm: v.worm, Blocked: v.blocked})
+			}
+		}
+	}
+	return buf
+}
+
 // Credit refunds one downstream buffer credit to output port p, VC vc.
 func (r *Router) Credit(p, vc int) {
 	o := &r.outputs[p].vcs[vc]

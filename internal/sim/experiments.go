@@ -3,8 +3,10 @@ package sim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"crnet/internal/core"
+	"crnet/internal/harness"
 	"crnet/internal/network"
 	"crnet/internal/routing"
 	"crnet/internal/stats"
@@ -38,6 +40,14 @@ type Scale struct {
 	// Collect, when non-nil, receives each sweep's per-point wall-clock
 	// (milliseconds, grid order) for JSON artifacts.
 	Collect func(label string, pointMS []float64)
+	// PointTimeout bounds one sweep point's wall-clock; 0 means
+	// unbounded. A point that exceeds it is cancelled and recorded as a
+	// sweep error; the rest of the sweep completes.
+	PointTimeout time.Duration
+	// CollectErrors, when non-nil, receives each sweep's failed points
+	// (panics, watchdog violations, timeouts) for the JSON artifact's
+	// errors section. Only called for sweeps that had failures.
+	CollectErrors func(label string, errs []harness.PointError)
 }
 
 // Quick is the CI-sized scale: an 8x8 torus and short windows. Shapes
@@ -146,7 +156,14 @@ var Experiments = []Experiment{
 	{"E19", "Application workloads: stencil, all-to-all, RPC", "Intro motivation (software layers)", E19Applications},
 	{"E20", "Adaptive output-selection policy ablation", "Implementation choice (Sec. 5)", E20SelectionPolicy},
 	{"E21", "FCR padding-margin ablation (bound is load-bearing)", "Sec. 4 padding rule", E21PaddingMargin},
+	{"E22", "Bursty (Gilbert-Elliott) vs i.i.d. corruption at equal rate", "Sec. 6.2 extension", E22BurstyFaults},
+	{"E23", "Fail-then-repair: degradation and recovery", "Sec. 6.2 extension", E23FailRepair},
+	{"E24", "Chaos soak with invariant watchdog", "Sec. 3-4 claims under chaos", E24ChaosSoak},
 }
+
+// ChaosExperiments lists the chaos/robustness subset selected by
+// crbench's -chaos flag.
+var ChaosExperiments = []string{"E22", "E23", "E24"}
 
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, bool) {

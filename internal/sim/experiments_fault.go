@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crnet/internal/faults"
+	"crnet/internal/harness"
 	"crnet/internal/network"
 	"crnet/internal/stats"
 )
@@ -48,10 +49,10 @@ func E9PermanentFaults(s Scale) *stats.Table {
 		net.MisrouteAfter = 2
 		net.MaxDetours = 4
 		if dead > 0 {
-			// Build the candidate list from a scratch network of the
-			// same shape (link ids depend only on topology).
-			probe := network.New(net)
-			net.LinkFailures = faults.RandomLinks(probe.Links(), dead, s.Warmup, s.Seed+uint64(dead))
+			// Link ids depend only on topology; the schedule seed is
+			// splitmix-derived so fault sets stay decorrelated across
+			// sweep points (and from the traffic seeds).
+			net.Faults = faults.RandomLinks(network.LinksOf(net.Topo), dead, s.Warmup, harness.PointSeed(s.Seed, 900+dead))
 		}
 		m := s.run(net, "uniform", load, s.MsgLen)
 		t.AddRow(dead, m.Throughput, m.AvgLatency, m.P95Latency, m.Misroutes, m.FailedMessages)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"crnet/internal/harness"
+	"crnet/internal/invariant"
 	"crnet/internal/network"
 	"crnet/internal/traffic"
 )
@@ -27,17 +28,26 @@ type Point struct {
 	Lengths traffic.LengthModel
 	// Net is the network configuration under test.
 	Net network.Config
+	// Watchdog, when set, installs an invariant watchdog on the point's
+	// network; a violation aborts the point and is recorded as a sweep
+	// error instead of polluting the table with garbage numbers.
+	Watchdog *invariant.Config
 	// Replicate distinguishes repeated runs of an otherwise identical
 	// point; it is provenance only (each point already derives an
 	// independent seed from its grid index).
 	Replicate int
 }
 
-// sweep executes a point grid over the harness worker pool and returns
+// sweep executes a point grid over the crash-proof harness and returns
 // the metrics in grid order. Each point derives its own traffic seed
 // via splitmix64 from (Scale.Seed, point index), so the stochastic
 // streams are independent of both neighbouring points and worker
 // scheduling: serial and parallel runs are bitwise identical.
+//
+// A point that errors, panics or exceeds Scale.PointTimeout no longer
+// takes the sweep down: its slot holds zero metrics, the failure is
+// reported through Scale.CollectErrors (and from there into the JSON
+// artifact's errors section), and every other point still completes.
 func (s Scale) sweep(label string, points []Point) []Metrics {
 	var onPoint func()
 	if s.Progress != nil {
@@ -45,7 +55,11 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 		onPoint = pr.Point
 	}
 	durs := make([]float64, len(points))
-	ms := harness.Sweep(len(points), harness.Options{Workers: s.Parallel, OnPoint: onPoint}, func(i int) Metrics {
+	opt := harness.SafeOptions{
+		Options:      harness.Options{Workers: s.Parallel, OnPoint: onPoint},
+		PointTimeout: s.PointTimeout,
+	}
+	ms, errs := harness.SweepSafe(len(points), opt, func(i int, cancel <-chan struct{}) (Metrics, error) {
 		p := points[i]
 		t0 := time.Now()
 		m, err := Run(Config{
@@ -57,15 +71,20 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 			WarmupCycles:  s.Warmup,
 			MeasureCycles: s.Measure,
 			Seed:          harness.PointSeed(s.Seed, i),
+			Watchdog:      p.Watchdog,
+			Cancel:        cancel,
 		})
 		if err != nil {
-			panic(err) // experiment grids are static; errors are bugs
+			return Metrics{}, err
 		}
 		durs[i] = float64(time.Since(t0)) / float64(time.Millisecond)
-		return m
+		return m, nil
 	})
 	if s.Collect != nil {
 		s.Collect(label, durs)
+	}
+	if s.CollectErrors != nil && len(errs) > 0 {
+		s.CollectErrors(label, errs)
 	}
 	return ms
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"crnet/internal/flit"
+	"crnet/internal/invariant"
 	"crnet/internal/network"
 	"crnet/internal/stats"
 	"crnet/internal/topology"
@@ -40,6 +41,14 @@ type Config struct {
 	DrainCycles int64
 	// Seed drives traffic generation (fault seeds live in Net).
 	Seed uint64
+	// Watchdog, when set, installs an invariant watchdog on the network;
+	// the run aborts with the violation the moment one is detected
+	// instead of silently producing garbage metrics.
+	Watchdog *invariant.Config
+	// Cancel, when set, aborts the run (with an error) shortly after the
+	// channel closes. The crash-proof sweep harness uses it to reclaim
+	// points that exceed their wall-clock budget.
+	Cancel <-chan struct{}
 }
 
 func (c *Config) fillDefaults() error {
@@ -108,6 +117,10 @@ type Metrics struct {
 	TransientFaults  int64
 	Misroutes        int64
 	StaleSignals     int64
+
+	// Watchdog results (zero unless Config.Watchdog was set).
+	Violations    int64 // invariant violations recorded
+	WatchdogScans int64 // audits performed
 }
 
 // Saturated reports whether the run is past the saturation point, using
@@ -141,7 +154,10 @@ func takeSnapshot(net *network.Network) snapshot {
 	}
 }
 
-// Run executes one simulation and returns its metrics.
+// Run executes one simulation and returns its metrics. A non-nil error
+// alongside non-zero metrics means the run aborted mid-flight — a
+// watchdog violation or a cancellation — and the metrics cover only the
+// portion that ran.
 func Run(cfg Config) (Metrics, error) {
 	m, _, err := RunWithNetwork(cfg)
 	return m, err
@@ -154,6 +170,11 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 		return Metrics{}, nil, err
 	}
 	net := network.New(cfg.Net)
+	var dog *invariant.Watchdog
+	if cfg.Watchdog != nil {
+		dog = invariant.New(*cfg.Watchdog)
+		net.SetMonitor(dog)
+	}
 	topo := net.Topology()
 	pattern, err := traffic.ByName(cfg.Pattern, topo)
 	if err != nil {
@@ -171,6 +192,8 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 	drainEnd := measureEnd + cfg.DrainCycles
 
 	var delivered, corrupt int64
+	var abortErr error
+loop:
 	for cycle := int64(0); cycle < drainEnd; cycle++ {
 		switch cycle {
 		case measureStart:
@@ -203,11 +226,29 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 				corrupt++
 			}
 		}
+		if err := net.Health(); err != nil {
+			abortErr = err
+			if cycle < measureEnd {
+				s1 = takeSnapshot(net) // partial window: whatever happened so far
+				if cycle < measureStart {
+					s0 = s1
+				}
+			}
+			break loop
+		}
+		if cfg.Cancel != nil && cycle&1023 == 0 {
+			select {
+			case <-cfg.Cancel:
+				abortErr = fmt.Errorf("sim: run cancelled at cycle %d", cycle)
+				break loop
+			default:
+			}
+		}
 		if cycle >= measureEnd && len(window) == 0 {
 			break
 		}
 	}
-	if measureEnd >= drainEnd {
+	if measureEnd >= drainEnd && abortErr == nil {
 		s1 = takeSnapshot(net)
 	}
 
@@ -244,5 +285,9 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 	if d := s1.dataFlits - s0.dataFlits; d > 0 {
 		m.PadOverhead = float64(s1.padFlits-s0.padFlits) / float64(d)
 	}
-	return m, net, nil
+	if dog != nil {
+		m.Violations = int64(len(dog.Violations()))
+		m.WatchdogScans = dog.Scans()
+	}
+	return m, net, abortErr
 }

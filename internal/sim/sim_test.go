@@ -127,8 +127,13 @@ func TestScaleConfigs(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments) != 21 {
-		t.Fatalf("%d experiments registered, want 21", len(Experiments))
+	if len(Experiments) != 24 {
+		t.Fatalf("%d experiments registered, want 24", len(Experiments))
+	}
+	for _, id := range ChaosExperiments {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("chaos subset lists unknown experiment %s", id)
+		}
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments {
@@ -156,6 +161,7 @@ var expectedColumns = map[string]int{
 	"E1": 6, "E2": 5, "E3": 5, "E4": 5, "E5": 6, "E6": 6, "E7": 6,
 	"E8": 6, "E9": 6, "E10": 5, "E11": 8, "E12": 6, "E13": 5, "E14": 4,
 	"E15": 6, "E16": 5, "E17": 7, "E18": 6, "E19": 6, "E20": 6, "E21": 5,
+	"E22": 6, "E23": 6, "E24": 4,
 }
 
 // Every experiment driver must run end to end and produce a non-empty,
