@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-harness chaos bench results
+.PHONY: verify build test vet race race-harness chaos bench results profile
 
 # Tier-1: build + tests, then vet, then the worker pool's determinism
 # test under the race detector (fast, targeted), then the chaos soak.
@@ -41,3 +41,13 @@ bench:
 # Regenerate the quick-scale result tables checked into the repo.
 results:
 	$(GO) run ./cmd/crbench -exp all -scale quick -quiet > results_quick.txt
+
+# Profile a representative sweep (E5 buffer-depth grid, serial mode for
+# a clean call tree). Inspect with `go tool pprof profile/cpu.out` or
+# `go tool trace profile/trace.out`.
+PROFILE_EXP ?= E5
+profile:
+	mkdir -p profile
+	$(GO) run ./cmd/crbench -exp $(PROFILE_EXP) -scale quick -quiet \
+		-cpuprofile profile/cpu.out -memprofile profile/mem.out -trace profile/trace.out
+	$(GO) tool pprof -top -nodecount=15 profile/cpu.out

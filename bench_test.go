@@ -287,3 +287,26 @@ func BenchmarkE21PaddingMargin(b *testing.B) {
 	}
 	b.ReportMetric(maxInColumn(b, rows, "-100", 1), "lost@-100")
 }
+
+func BenchmarkE25LatencyDecomposition(b *testing.B) {
+	rows := runExperiment(b, "E25")
+	// The phase partition must be exact at every point (sum_err column).
+	for _, r := range rows {
+		if r[8] != "0.0" {
+			b.Fatalf("phase decomposition inexact: %v", r)
+		}
+	}
+	b.ReportMetric(maxInColumn(b, rows, "CR(d=2)", 6), "cr_max_drain")
+	b.ReportMetric(maxInColumn(b, rows, "CR(d=2)", 4), "cr_max_retry")
+}
+
+func BenchmarkE26OccupancySeries(b *testing.B) {
+	rows := runExperiment(b, "E26")
+	// Every load point must retain a non-empty sampled series.
+	for _, r := range rows {
+		if r[2] == "0" {
+			b.Fatalf("point retained no samples: %v", r)
+		}
+	}
+	b.ReportMetric(maxInColumn(b, rows, "CR(d=2)", 4), "max_occupancy")
+}

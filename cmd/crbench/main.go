@@ -35,7 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -87,6 +90,12 @@ func failRows(t interface {
 }
 
 func main() {
+	// All real work happens in run so that deferred profile/trace
+	// finalizers fire before the process exits (os.Exit skips defers).
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		expID    = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
 		chaos    = flag.Bool("chaos", false, "run the chaos/robustness experiments (E22-E24); overrides -exp")
@@ -97,6 +106,10 @@ func main() {
 		timeout  = flag.Duration("point-timeout", 0, "per-sweep-point wall-clock budget (0 = unbounded); exceeded points are recorded as errors")
 		jsonOut  = flag.String("json", "", "also write a versioned JSON results artifact to this file")
 		quiet    = flag.Bool("quiet", false, "suppress progress/timing output on stderr")
+		tsDir    = flag.String("timeseries", "", "write sampled metric time-series as CSV files into this directory (experiments that sample, e.g. E26)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (forces -parallel 1)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file (forces -parallel 1)")
+		traceOut = flag.String("trace", "", "write a runtime execution trace to this file (forces -parallel 1)")
 	)
 	flag.Parse()
 
@@ -104,7 +117,7 @@ func main() {
 		for _, e := range sim.Experiments {
 			fmt.Printf("%-4s %-60s [%s]\n", e.ID, e.Title, e.Paper)
 		}
-		return
+		return 0
 	}
 
 	var s sim.Scale
@@ -115,12 +128,63 @@ func main() {
 		s = sim.Full
 	default:
 		fmt.Fprintf(os.Stderr, "crbench: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
+	}
+	// Profiling wants one goroutine doing the simulating, so the profile
+	// reads as a single clean call tree: force the harness's serial mode.
+	profiling := *cpuProf != "" || *memProf != "" || *traceOut != ""
+	if profiling {
+		*parallel = 1
 	}
 	s.Parallel = *parallel
 	s.PointTimeout = *timeout
 	if !*quiet {
 		s.Progress = os.Stderr
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: starting trace: %v\n", err)
+			return 1
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "crbench: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	sel := *expID
@@ -130,7 +194,7 @@ func main() {
 	selected, err := selectExperiments(sel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	workers := *parallel
@@ -159,9 +223,15 @@ func main() {
 		}
 		var sweeps []harness.SweepTiming
 		var pointErrs []harness.PointError
+		var pointSeries []harness.PointSeries
 		if art != nil {
 			s.Collect = func(label string, pointMS []float64) {
 				sweeps = append(sweeps, harness.SweepTiming{Label: label, PointMS: pointMS})
+			}
+		}
+		if art != nil || *tsDir != "" {
+			s.CollectSeries = func(label string, series []harness.PointSeries) {
+				pointSeries = append(pointSeries, series...)
 			}
 		}
 		s.CollectErrors = func(label string, errs []harness.PointError) {
@@ -191,13 +261,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s done (%s, scale %s, %d workers, %v)\n",
 				e.ID, e.Paper, *scale, workers, elapsed.Round(time.Millisecond))
 		}
+		if *tsDir != "" && len(pointSeries) != 0 {
+			if err := writeSeriesCSVs(*tsDir, e.ID, pointSeries); err != nil {
+				fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+				return 1
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "%s: wrote %d time-series CSVs to %s\n", e.ID, len(pointSeries), *tsDir)
+			}
+		}
 		if art != nil {
 			art.Experiments = append(art.Experiments, harness.ExperimentResult{
 				ID: e.ID, Title: e.Title, Paper: e.Paper,
-				Table:     tbl.JSON(),
-				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
-				Sweeps:    sweeps,
-				Errors:    pointErrs,
+				Table:      tbl.JSON(),
+				ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+				Sweeps:     sweeps,
+				Errors:     pointErrs,
+				TimeSeries: pointSeries,
 			})
 		}
 	}
@@ -205,7 +285,7 @@ func main() {
 	if art != nil {
 		if err := art.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "crbench: writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
+			return 1
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s (schema v%d, %d experiments)\n", *jsonOut, art.Schema, len(art.Experiments))
@@ -214,6 +294,23 @@ func main() {
 	if failed {
 		// The artifact is written first: a red run still leaves the full
 		// evidence on disk.
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeSeriesCSVs dumps each sampled point's time-series as one CSV
+// named <exp>_<label>_<load>.csv under dir (created if absent).
+func writeSeriesCSVs(dir, exp string, series []harness.PointSeries) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sanitize := strings.NewReplacer("/", "-", " ", "", "(", "", ")", "", ",", "-", "=", "")
+	for _, ps := range series {
+		name := fmt.Sprintf("%s_%s_%.2f.csv", exp, sanitize.Replace(ps.Label), ps.Load)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(ps.Data.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -37,6 +37,14 @@ type chState struct {
 
 	createTime   int64 // message creation (queue latency base)
 	attemptStart int64 // current attempt's first injection cycle
+
+	// Phase-timestamp bookkeeping for the latency decomposition: the
+	// head-injection cycle of attempt 0, the cumulative cycles spent in
+	// chWaiting (retransmission backoff), and when the current wait
+	// began. Stamped onto each attempt's head flit (see flit.Stamps).
+	firstInject int64
+	backoff     int64
+	waitStart   int64
 }
 
 type chPhase int
@@ -236,6 +244,8 @@ func (in *Injector) tickChannel(now int64, i int) {
 		ch.stall = 0
 		ch.createTime = m.CreateTime
 		ch.attemptStart = now
+		ch.firstInject = -1
+		ch.backoff = 0
 		in.inject(now, i)
 	case chSending:
 		in.inject(now, i)
@@ -243,6 +253,7 @@ func (in *Injector) tickChannel(now int64, i int) {
 		if now < ch.retryAt || !in.ports[i].Ready() {
 			return
 		}
+		ch.backoff += now - ch.waitStart
 		attempt := ch.frame.Attempt + 1
 		if attempt >= in.cfg.maxAttempts() || attempt >= flit.MaxAttempts {
 			in.stats.Failed++
@@ -276,6 +287,20 @@ func (in *Injector) inject(now int64, i int) {
 		return
 	}
 	f := ch.frame.FlitAt(ch.next)
+	if ch.next == 0 {
+		// Stamp the head with the phase timestamps of this attempt; the
+		// receiver carries them into the delivery record so the
+		// observability layer can decompose end-to-end latency.
+		if ch.firstInject < 0 {
+			ch.firstInject = now
+		}
+		f.Stamps = flit.Stamps{
+			Create:        ch.createTime,
+			FirstInject:   ch.firstInject,
+			AttemptInject: now,
+			Backoff:       ch.backoff,
+		}
+	}
 	port.Inject(f)
 	ch.next++
 	ch.stall = 0
@@ -310,6 +335,7 @@ func (in *Injector) stalled(now int64, i int) {
 	in.stats.Kills++
 	in.ports[i].Kill(ch.frame.WormID())
 	ch.phase = chWaiting
+	ch.waitStart = now
 	ch.retryAt = now + in.backoffGap(ch.frame.Attempt)
 }
 
@@ -322,6 +348,7 @@ func (in *Injector) FKilled(worm flit.WormID, now int64) {
 		if ch.phase == chSending && ch.frame.WormID() == worm {
 			in.stats.FKills++
 			ch.phase = chWaiting
+			ch.waitStart = now
 			// FKILL means the attempt was rejected by the receiver (or a
 			// dead link), not congestion; retry after the base gap.
 			ch.retryAt = now + in.backoffGap(0)

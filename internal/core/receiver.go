@@ -25,6 +25,14 @@ type Delivery struct {
 	// delivered messages (corrupt worms are FKILLed); under Plain/CR
 	// with fault injection it exposes silent data corruption.
 	DataOK bool
+
+	// Stamps are the source-side phase timestamps of the delivered
+	// attempt, copied from its head flit; HeadArrived is the cycle that
+	// head reached this receiver. Together with Time (tail drained)
+	// they decompose end-to-end latency into queue/retry/flight/drain
+	// phases (see internal/obs.PhaseBreakdown).
+	Stamps      flit.Stamps
+	HeadArrived int64
 }
 
 // RecvStats counts receiver-side events.
@@ -46,6 +54,9 @@ type assembly struct {
 	nextSeq int
 	channel int
 	dataOK  bool
+
+	stamps      flit.Stamps // phase timestamps from the head flit
+	headArrived int64       // cycle the head reached this receiver
 }
 
 // Receiver is one node's reception engine: it assembles worms from the
@@ -110,7 +121,8 @@ func (rc *Receiver) Accept(ch int, f flit.Flit, now int64) {
 			return
 		}
 		h := flit.DecodeHeader(f.Payload)
-		a = &assembly{src: h.Src, msg: f.Worm.Message(), dataLen: h.DataLen, nextSeq: 1, channel: ch, dataOK: true}
+		a = &assembly{src: h.Src, msg: f.Worm.Message(), dataLen: h.DataLen, nextSeq: 1, channel: ch, dataOK: true,
+			stamps: f.Stamps, headArrived: now}
 		rc.asm[f.Worm] = a
 		rc.stats.DataFlits++
 		if f.Tail {
@@ -167,12 +179,14 @@ func (rc *Receiver) deliver(worm flit.WormID, a *assembly, now int64) {
 	}
 	rc.lastSeen[a.src] = a.msg
 	rc.deliveries = append(rc.deliveries, Delivery{
-		Msg:     a.msg,
-		Worm:    worm,
-		Src:     a.src,
-		DataLen: a.dataLen,
-		Time:    now,
-		DataOK:  a.dataOK,
+		Msg:         a.msg,
+		Worm:        worm,
+		Src:         a.src,
+		DataLen:     a.dataLen,
+		Time:        now,
+		DataOK:      a.dataOK,
+		Stamps:      a.stamps,
+		HeadArrived: a.headArrived,
 	})
 }
 

@@ -100,6 +100,33 @@ type Flit struct {
 	// is control metadata outside the checksum, and restarts at zero on
 	// each retransmission attempt.
 	Hops uint16
+
+	// Stamps carries the source-side phase timestamps used by the
+	// observability layer's latency decomposition. The injector sets
+	// them on head flits only; like Src/Dst they are simulator
+	// bookkeeping outside the checksum (real hardware would not ship
+	// them per flit).
+	Stamps Stamps
+}
+
+// Stamps are the source-side phase timestamps of one transmission
+// attempt, stamped onto the attempt's head flit. Together with the
+// receiver-side arrival times they partition end-to-end latency into
+// queueing, retransmission and network phases (see internal/obs).
+type Stamps struct {
+	// Create is the cycle the message was offered to the injector
+	// (latency accounting starts here).
+	Create int64
+	// FirstInject is the cycle attempt 0's head flit entered the
+	// injection channel — the end of the pure queueing phase.
+	FirstInject int64
+	// AttemptInject is the cycle this attempt's head flit entered the
+	// injection channel; equals FirstInject for first-try deliveries.
+	AttemptInject int64
+	// Backoff is the cumulative cycles the source spent waiting out
+	// retransmission gaps before this attempt (a sub-interval of the
+	// FirstInject..AttemptInject retry phase).
+	Backoff int64
 }
 
 // String implements fmt.Stringer for debugging output.

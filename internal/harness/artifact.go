@@ -2,11 +2,13 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"strings"
 
+	"crnet/internal/obs"
 	"crnet/internal/stats"
 )
 
@@ -18,7 +20,13 @@ import (
 // v2: ExperimentResult gained the Errors section — per-point failures
 // (error / panic / timeout) recorded by crash-proof sweeps instead of
 // aborting the whole run.
-const SchemaVersion = 2
+//
+// v3: ExperimentResult gained the TimeSeries section — per-point
+// sampled metric time-series (buffer occupancy, link utilization,
+// in-flight worms...) from the observability sampler. DecodeArtifact
+// still reads v1 and v2 payloads: the new section is additive and
+// simply absent there.
+const SchemaVersion = 3
 
 // Artifact is the machine-readable record of one harness run: the
 // result series of every experiment executed plus enough provenance
@@ -72,6 +80,18 @@ type ExperimentResult struct {
 	// points carry zero values; a non-empty Errors section marks the
 	// experiment as partial. Absent on fully successful runs.
 	Errors []PointError `json:"errors,omitempty"`
+	// TimeSeries holds the sampled metric time-series of points that ran
+	// with the per-cycle sampler enabled (schema v3+). Absent otherwise.
+	TimeSeries []PointSeries `json:"time_series,omitempty"`
+}
+
+// PointSeries is one sweep point's sampled time-series, labelled with
+// its series name and load so plots can locate it without re-deriving
+// the grid.
+type PointSeries struct {
+	Label string         `json:"label"`
+	Load  float64        `json:"load,omitempty"`
+	Data  obs.SeriesJSON `json:"data"`
 }
 
 // SweepTiming is the per-point wall-clock of one sweep, in grid order.
@@ -123,6 +143,33 @@ func (a *Artifact) Encode(w io.Writer) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// DecodeArtifact reads a JSON artifact produced by any schema version
+// up to the current one. Older payloads decode with their newer
+// sections (v2 errors, v3 time-series) simply absent; a payload from a
+// FUTURE schema is refused rather than silently misread.
+func DecodeArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("harness: decoding artifact: %w", err)
+	}
+	if a.Schema < 1 || a.Schema > SchemaVersion {
+		return nil, fmt.Errorf("harness: artifact schema %d outside supported range [1,%d]",
+			a.Schema, SchemaVersion)
+	}
+	return &a, nil
+}
+
+// ReadArtifactFile decodes the artifact at path.
+func ReadArtifactFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeArtifact(f)
 }
 
 // WriteFile writes the artifact to path, creating or truncating it.

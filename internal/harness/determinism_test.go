@@ -39,8 +39,12 @@ func runArtifact(t *testing.T, ids []string, parallel int) (tables []string, art
 	}
 	for _, id := range ids {
 		var sweeps []harness.SweepTiming
+		var series []harness.PointSeries
 		s.Collect = func(label string, pointMS []float64) {
 			sweeps = append(sweeps, harness.SweepTiming{Label: label, PointMS: pointMS})
+		}
+		s.CollectSeries = func(label string, ps []harness.PointSeries) {
+			series = append(series, ps...)
 		}
 		e, ok := sim.ByID(id)
 		if !ok {
@@ -49,7 +53,7 @@ func runArtifact(t *testing.T, ids []string, parallel int) (tables []string, art
 		tbl := e.Run(s)
 		tables = append(tables, tbl.String())
 		art.Experiments = append(art.Experiments, harness.ExperimentResult{
-			ID: e.ID, Title: e.Title, Paper: e.Paper, Table: tbl.JSON(), Sweeps: sweeps,
+			ID: e.ID, Title: e.Title, Paper: e.Paper, Table: tbl.JSON(), Sweeps: sweeps, TimeSeries: series,
 		})
 	}
 	return tables, art
@@ -59,7 +63,11 @@ func TestParallelRunsAreByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs ~40 simulations")
 	}
-	ids := []string{"E1", "E5", "E20"}
+	// E25/E26 cover the observability layer: phase decomposition must be
+	// identical across worker counts, and E26's sampled time-series ride
+	// in the artifact's time_series section, so any scheduling leak into
+	// the sampler shows up as a canonical-JSON diff.
+	ids := []string{"E1", "E5", "E20", "E25", "E26"}
 	serialTables, serialArt := runArtifact(t, ids, 1)
 	parTables, parArt := runArtifact(t, ids, 8)
 
@@ -80,6 +88,22 @@ func TestParallelRunsAreByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(sj, pj) {
 		t.Errorf("canonical JSON artifacts differ between parallel=1 and parallel=8:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+
+	// E26 must actually have produced time-series for every point.
+	for _, e := range parArt.Experiments {
+		if e.ID != "E26" {
+			continue
+		}
+		if len(e.TimeSeries) != len(detScale.Loads) {
+			t.Errorf("E26 produced %d time-series, want one per load (%d)",
+				len(e.TimeSeries), len(detScale.Loads))
+		}
+		for _, ts := range e.TimeSeries {
+			if len(ts.Data.Cycles) == 0 {
+				t.Errorf("E26 %s load %.2f: empty time-series", ts.Label, ts.Load)
+			}
+		}
 	}
 
 	// The sweep timing channel must report one sample per point.

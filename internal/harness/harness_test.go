@@ -3,11 +3,13 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"crnet/internal/obs"
 	"crnet/internal/stats"
 )
 
@@ -138,6 +140,28 @@ func TestProgressOutput(t *testing.T) {
 	}
 }
 
+// An instantaneous first point (elapsed below the clock resolution)
+// must render ETA "?" rather than extrapolating a nonsense "0s"; the
+// estimate appears once the clock has actually advanced.
+func TestProgressETAFirstInstantPoint(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(1000, 0)
+	p := NewProgress(&buf, "E1", 3)
+	p.now = func() time.Time { return clock }
+	p.start = clock
+
+	p.Point() // zero elapsed: no basis for an estimate
+	if line := buf.String(); !strings.Contains(line, "ETA ?") {
+		t.Fatalf("instant first point extrapolated an ETA: %q", line)
+	}
+	buf.Reset()
+	clock = clock.Add(2 * time.Second)
+	p.Point()
+	if line := buf.String(); !strings.Contains(line, "ETA 1s") {
+		t.Fatalf("expected 1s estimate after 2s/2 points: %q", line)
+	}
+}
+
 func TestProgressNilWriter(t *testing.T) {
 	p := NewProgress(nil, "x", 2)
 	p.Point()
@@ -190,6 +214,68 @@ func TestArtifactCanonicalStripsTimings(t *testing.T) {
 	// The series data must survive canonicalization.
 	if !strings.Contains(string(ca), `"rows":[["x","1.5"]]`) {
 		t.Fatalf("canonical artifact lost table rows: %s", ca)
+	}
+}
+
+func TestDecodeArtifactBackwardCompat(t *testing.T) {
+	// A v2 payload (pre time-series) must decode cleanly with the new
+	// section absent.
+	v2 := `{"schema":2,"tool":"crbench","scale":{"name":"quick","k":8,"msg_len":8,` +
+		`"warmup_cycles":1,"measure_cycles":2,"loads":[0.1],"seed":1},"parallel":4,` +
+		`"experiments":[{"id":"E5","title":"t","table":{"title":"T","columns":["a"],"rows":[]},` +
+		`"errors":[{"index":0,"label":"x","kind":"panic","message":"boom"}]}]}`
+	a, err := DecodeArtifact(strings.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != 2 || len(a.Experiments) != 1 || a.Experiments[0].TimeSeries != nil {
+		t.Fatalf("v2 decode wrong: %+v", a)
+	}
+
+	// A payload from a future schema must be refused, not misread.
+	future := fmt.Sprintf(`{"schema":%d,"tool":"crbench"}`, SchemaVersion+1)
+	if _, err := DecodeArtifact(strings.NewReader(future)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := DecodeArtifact(strings.NewReader(`{"schema":0}`)); err == nil {
+		t.Fatal("schema 0 accepted")
+	}
+}
+
+func TestArtifactTimeSeriesRoundTrip(t *testing.T) {
+	tbl := stats.NewTable("T", "a")
+	a := Artifact{
+		Schema: SchemaVersion,
+		Tool:   "crbench",
+		Scale:  ScaleEcho{Name: "quick"},
+		Experiments: []ExperimentResult{{
+			ID: "E26", Title: "occupancy", Table: tbl.JSON(),
+			TimeSeries: []PointSeries{{
+				Label: "CR(d=2)", Load: 0.6,
+				Data: obs.SeriesJSON{
+					Every:   50,
+					Columns: []string{"occupancy_total"},
+					Cycles:  []int64{0, 50},
+					Values:  [][]float64{{0}, {12}},
+				},
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := back.Experiments[0].TimeSeries
+	if len(ts) != 1 || ts[0].Label != "CR(d=2)" || ts[0].Data.Values[1][0] != 12 {
+		t.Fatalf("time-series round trip broken: %+v", ts)
+	}
+	// Time-series are deterministic data: Canonical must keep them.
+	if c := a.Canonical(); len(c.Experiments[0].TimeSeries) != 1 {
+		t.Fatal("Canonical dropped the time-series section")
 	}
 }
 

@@ -60,8 +60,11 @@ func (p *Progress) line(t time.Time) string {
 	}
 	eta := "?"
 	if elapsed := t.Sub(p.start); p.done > 0 && p.done < p.total {
-		perPoint := elapsed / time.Duration(p.done)
-		eta = (perPoint * time.Duration(p.total-p.done)).Round(time.Second).String()
+		// Sub-resolution points give elapsed == 0 and would render the
+		// nonsense estimate "0s"; keep "?" until the clock has moved.
+		if perPoint := elapsed / time.Duration(p.done); perPoint > 0 {
+			eta = (perPoint * time.Duration(p.total-p.done)).Round(time.Second).String()
+		}
 	} else if p.done >= p.total {
 		eta = "done in " + t.Sub(p.start).Round(time.Millisecond).String()
 	}

@@ -455,3 +455,75 @@ func (n *Network) PendingWorms() int {
 	}
 	return total
 }
+
+// VCs returns the configured virtual-channel count per network port.
+func (n *Network) VCs() int { return n.cfg.VCs }
+
+// OccupancyPerVC returns the buffered flit count per network virtual
+// channel index, summed across every router's network input ports
+// (injection buffers are excluded; see InjectionOccupancy). The
+// per-cycle sampler polls it to build occupancy time-series.
+func (n *Network) OccupancyPerVC() []int64 {
+	occ := make([]int64, n.cfg.VCs)
+	for id, r := range n.routers {
+		deg := len(n.links[id])
+		for p := 0; p < deg; p++ {
+			for vc := 0; vc < n.cfg.VCs; vc++ {
+				occ[vc] += int64(r.BufferedAt(p, vc))
+			}
+		}
+	}
+	return occ
+}
+
+// InjectionOccupancy returns the flits buffered in injection channels
+// across all routers.
+func (n *Network) InjectionOccupancy() int64 {
+	var occ int64
+	for id, r := range n.routers {
+		deg := len(n.links[id])
+		for ch := 0; ch < n.cfg.InjectionChannels; ch++ {
+			occ += int64(r.BufferedAt(deg+ch, 0))
+		}
+	}
+	return occ
+}
+
+// InFlightFlits returns how many flits are currently crossing links.
+func (n *Network) InFlightFlits() int64 {
+	var c int64
+	for id := range n.links {
+		for p := range n.links[id] {
+			if n.links[id][p].busy {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// LinkFlits returns the cumulative flit traversals across all links
+// since the start of the run; divided by links x cycles it gives the
+// network-wide link utilization.
+func (n *Network) LinkFlits() int64 {
+	var c int64
+	for id := range n.links {
+		for p := range n.links[id] {
+			c += n.links[id][p].flits
+		}
+	}
+	return c
+}
+
+// LinkCount returns the number of existing unidirectional links.
+func (n *Network) LinkCount() int {
+	c := 0
+	for id := range n.links {
+		for p := range n.links[id] {
+			if n.links[id][p].exists {
+				c++
+			}
+		}
+	}
+	return c
+}

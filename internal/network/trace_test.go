@@ -97,6 +97,92 @@ func TestTracerSeesKillsUnderContention(t *testing.T) {
 	}
 }
 
+// TestTracerPerWormOrderingUnderLoad drives a saturating antipodal
+// load (kills and retransmissions happening) and checks every worm's
+// event stream individually against the lifecycle state machine:
+// each flit is injected before it arrives anywhere, arrives before it
+// ejects, the head leads the worm, a delivery is an attempt's final
+// event, and no attempt both dies (KILL/discard) and delivers.
+func TestTracerPerWormOrderingUnderLoad(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		Timeout:  8,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+	})
+	perWorm := map[flit.WormID][]Event{}
+	n.SetTracer(func(e Event) { perWorm[e.Worm] = append(perWorm[e.Worm], e) })
+	id := flit.MessageID(1)
+	for round := 0; round < 6; round++ {
+		for src := 0; src < topo.Nodes(); src++ {
+			dst := (src + topo.Nodes()/2) % topo.Nodes()
+			n.SubmitMessage(flit.Message{ID: id, Src: topology.NodeID(src), Dst: topology.NodeID(dst), DataLen: 16})
+			id++
+		}
+	}
+	ds := runUntilIdle(t, n, 200000)
+	if len(ds) == 0 || n.InjectorStats().Kills == 0 {
+		t.Fatalf("need deliveries AND kills to exercise the lifecycle: %d deliveries, %d kills",
+			len(ds), n.InjectorStats().Kills)
+	}
+	killedAttempts := 0
+	for worm, evs := range perWorm {
+		injected := map[int]bool{} // seq -> seen EvInject
+		arrived := map[int]bool{}
+		delivered, dead := false, false
+		prev := int64(-1)
+		for _, e := range evs {
+			if e.Cycle < prev {
+				t.Fatalf("worm %v: events out of cycle order", worm)
+			}
+			prev = e.Cycle
+			if delivered {
+				t.Fatalf("worm %v: %v after delivery", worm, e)
+			}
+			switch e.Kind {
+			case EvInject:
+				if e.Seq != 0 && !injected[0] {
+					t.Fatalf("worm %v: flit %d injected before the head", worm, e.Seq)
+				}
+				if injected[e.Seq] {
+					t.Fatalf("worm %v: flit %d injected twice", worm, e.Seq)
+				}
+				injected[e.Seq] = true
+			case EvArrive, EvCorrupt:
+				if !injected[e.Seq] {
+					t.Fatalf("worm %v: flit %d at a router input before injection", worm, e.Seq)
+				}
+				arrived[e.Seq] = true
+			case EvEject:
+				if !injected[e.Seq] {
+					t.Fatalf("worm %v: flit %d ejected before injection", worm, e.Seq)
+				}
+				if e.Seq != 0 && !arrived[0] {
+					t.Fatalf("worm %v: body flit %d ejected but the head never reached a router input", worm, e.Seq)
+				}
+			case EvDeliver:
+				if dead {
+					t.Fatalf("worm %v: delivered after KILL/discard", worm)
+				}
+				if !injected[0] {
+					t.Fatalf("worm %v: delivered without injecting a head", worm)
+				}
+				delivered = true
+			case EvKill, EvDiscard:
+				dead = true
+			}
+		}
+		if dead && !delivered {
+			killedAttempts++
+		}
+	}
+	if killedAttempts == 0 {
+		t.Fatal("kills reported by the injector but no attempt's event stream shows one")
+	}
+}
+
 func TestTracerOffByDefaultAndRemovable(t *testing.T) {
 	n := crNet(topology.NewTorus(4, 2))
 	calls := 0

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+
+	"crnet/internal/stats"
+)
+
+// PhaseBreakdown decomposes end-to-end message latency into the four
+// protocol phases the source and destination timestamps delimit:
+//
+//	Queue:  message creation -> first attempt's header injection
+//	        (waiting in the injector queue and for the channel)
+//	Retry:  first attempt's header injection -> delivered attempt's
+//	        header injection (failed attempts, kill detection and
+//	        retransmission backoff; zero for first-try deliveries)
+//	Flight: delivered attempt's header injection -> header arrival at
+//	        the destination (routing and link traversal)
+//	Drain:  header arrival -> tail drained (serialization of the body
+//	        and protocol padding behind the header)
+//
+// The phases partition the end-to-end interval exactly: their integer
+// cycle counts sum to creation->delivery latency per message, so the
+// histogram sums satisfy Queue+Retry+Flight+Drain == Total with no
+// residue. CheckSum verifies that invariant.
+//
+// Backoff tracks, inside the Retry phase, the cycles the source spent
+// waiting out retransmission gaps (as opposed to re-injecting), which
+// is the knob the paper's Fig. 11 tunes.
+type PhaseBreakdown struct {
+	Queue  *stats.Histogram
+	Retry  *stats.Histogram
+	Flight *stats.Histogram
+	Drain  *stats.Histogram
+	// Total is the end-to-end latency histogram over the same messages.
+	Total *stats.Histogram
+	// Backoff is the retransmission-gap portion of Retry.
+	Backoff *stats.Histogram
+}
+
+// NewPhaseBreakdown returns a breakdown whose histograms use the given
+// bucket width and count (values beyond width*buckets land in overflow
+// buckets; means stay exact).
+func NewPhaseBreakdown(width int64, buckets int) *PhaseBreakdown {
+	return &PhaseBreakdown{
+		Queue:   stats.NewHistogram(width, buckets),
+		Retry:   stats.NewHistogram(width, buckets),
+		Flight:  stats.NewHistogram(width, buckets),
+		Drain:   stats.NewHistogram(width, buckets),
+		Total:   stats.NewHistogram(width, buckets),
+		Backoff: stats.NewHistogram(width, buckets),
+	}
+}
+
+// Add records one delivered message's phase components, in cycles.
+// backoff must not exceed retry (it is a sub-interval of it).
+func (b *PhaseBreakdown) Add(queue, retry, flight, drain, backoff int64) {
+	b.Queue.Add(queue)
+	b.Retry.Add(retry)
+	b.Flight.Add(flight)
+	b.Drain.Add(drain)
+	b.Total.Add(queue + retry + flight + drain)
+	b.Backoff.Add(backoff)
+}
+
+// N returns the number of messages recorded.
+func (b *PhaseBreakdown) N() int64 { return b.Total.N() }
+
+// CheckSum verifies the decomposition invariant: the phase sums add up
+// to the end-to-end sum exactly, and no phase ever went negative (a
+// negative component would have been clamped and counted by the
+// histogram). A non-nil error means the timestamp plumbing is broken.
+func (b *PhaseBreakdown) CheckSum() error {
+	parts := b.Queue.Sum() + b.Retry.Sum() + b.Flight.Sum() + b.Drain.Sum()
+	if parts != b.Total.Sum() {
+		return fmt.Errorf("obs: phase sums %d != end-to-end sum %d", parts, b.Total.Sum())
+	}
+	for _, h := range []struct {
+		name string
+		h    *stats.Histogram
+	}{{"queue", b.Queue}, {"retry", b.Retry}, {"flight", b.Flight}, {"drain", b.Drain}, {"backoff", b.Backoff}} {
+		if n := h.h.ClampedNegative(); n != 0 {
+			return fmt.Errorf("obs: %d negative %s components clamped", n, h.name)
+		}
+	}
+	return nil
+}

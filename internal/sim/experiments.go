@@ -48,6 +48,12 @@ type Scale struct {
 	// (panics, watchdog violations, timeouts) for the JSON artifact's
 	// errors section. Only called for sweeps that had failures.
 	CollectErrors func(label string, errs []harness.PointError)
+	// CollectSeries, when non-nil, receives the sampled metric
+	// time-series of points that ran with the per-cycle sampler enabled
+	// (Point.SampleEvery > 0), in grid order, for the JSON artifact's
+	// time_series section and -timeseries CSV export. Only called for
+	// sweeps that sampled.
+	CollectSeries func(label string, series []harness.PointSeries)
 }
 
 // Quick is the CI-sized scale: an 8x8 torus and short windows. Shapes
@@ -159,6 +165,8 @@ var Experiments = []Experiment{
 	{"E22", "Bursty (Gilbert-Elliott) vs i.i.d. corruption at equal rate", "Sec. 6.2 extension", E22BurstyFaults},
 	{"E23", "Fail-then-repair: degradation and recovery", "Sec. 6.2 extension", E23FailRepair},
 	{"E24", "Chaos soak with invariant watchdog", "Sec. 3-4 claims under chaos", E24ChaosSoak},
+	{"E25", "Latency decomposition: queue/retry/flight/drain phases", "Sec. 6.1 latency anatomy", E25LatencyDecomposition},
+	{"E26", "Buffer occupancy time-series around the saturation knee", "Sec. 6.1 congestion dynamics", E26OccupancySeries},
 }
 
 // ChaosExperiments lists the chaos/robustness subset selected by

@@ -1,0 +1,62 @@
+package sim
+
+import "crnet/internal/stats"
+
+// E25LatencyDecomposition decomposes end-to-end latency into the four
+// phases the source/destination timestamps delimit — queue (creation to
+// first injection), retry (failed attempts + backoff), flight (header
+// routing) and drain (body serialization behind the header) — across
+// the E5 load sweep. The decomposition shows WHERE CR pays its
+// pre-saturation latency premium over deep-buffered DOR: padding and
+// serialization (drain) plus retry backoff, not slower routing
+// (flight). sum_err is the exact integer residue of the partition and
+// must be 0 at every point.
+func E25LatencyDecomposition(s Scale) *stats.Table {
+	t := stats.NewTable("E25: latency decomposition (queue/retry/flight/drain) vs load",
+		"scheme", "offered(frac)", "avg_latency", "queue", "retry", "flight", "drain", "backoff", "sum_err")
+	pts := s.loadGrid("CR(d=2)", "uniform", s.crNet())
+	pts = append(pts, s.loadGrid("DOR(d=2)", "uniform", s.dorNet(1, 2))...)
+	pts = append(pts, s.loadGrid("DOR(d=16)", "uniform", s.dorNet(1, 16))...)
+	for i, m := range s.sweep("E25", pts) {
+		sumErr := 0.0
+		if m.Phases != nil { // nil on failed sweep points (zero metrics)
+			parts := m.Phases.Queue.Sum() + m.Phases.Retry.Sum() + m.Phases.Flight.Sum() + m.Phases.Drain.Sum()
+			sumErr = float64(parts - m.Phases.Total.Sum())
+		}
+		t.AddRow(pts[i].Series, pts[i].Load, m.AvgLatency,
+			m.QueueLatency, m.RetryLatency, m.FlightLatency, m.DrainLatency,
+			m.BackoffLatency, sumErr)
+	}
+	return t
+}
+
+// E26OccupancySeries samples per-VC buffer occupancy, in-flight worms
+// and kill counters on a fixed cadence through CR load points around
+// the saturation knee, reducing each point's retained time-series to
+// summary statistics here; the full series rides in the JSON
+// artifact's time_series section (schema v3) and exports as CSV via
+// crbench -timeseries.
+func E26OccupancySeries(s Scale) *stats.Table {
+	t := stats.NewTable("E26: buffer occupancy time-series around the saturation knee (CR)",
+		"scheme", "offered(frac)", "samples", "occ_mean", "occ_max", "inflight_mean", "kills_delta", "link_util")
+	every := s.Measure / 100
+	if every < 1 {
+		every = 1
+	}
+	pts := s.loadGrid("CR(d=2)", "uniform", s.crNet())
+	for i := range pts {
+		pts[i].SampleEvery = every
+	}
+	for i, m := range s.sweep("E26", pts) {
+		if m.Series == nil { // failed sweep point
+			t.AddRow(pts[i].Series, pts[i].Load, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+			continue
+		}
+		occMean, occMax := m.Series.ColumnStats("occupancy_total")
+		inflight, _ := m.Series.ColumnStats("inflight_worms")
+		t.AddRow(pts[i].Series, pts[i].Load, m.Series.Len(),
+			occMean, occMax, inflight,
+			m.Series.Delta("source_kills"), m.Series.Last("link_utilization"))
+	}
+	return t
+}

@@ -36,6 +36,11 @@ type Point struct {
 	// point; it is provenance only (each point already derives an
 	// independent seed from its grid index).
 	Replicate int
+	// SampleEvery/SampleCap, when SampleEvery is positive, enable the
+	// per-cycle metrics sampler for this point (see sim.Config); the
+	// resulting time-series rides in Metrics.Series.
+	SampleEvery int64
+	SampleCap   int
 }
 
 // sweep executes a point grid over the crash-proof harness and returns
@@ -73,6 +78,8 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 			Seed:          harness.PointSeed(s.Seed, i),
 			Watchdog:      p.Watchdog,
 			Cancel:        cancel,
+			SampleEvery:   p.SampleEvery,
+			SampleCap:     p.SampleCap,
 		})
 		if err != nil {
 			return Metrics{}, err
@@ -85,6 +92,21 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 	}
 	if s.CollectErrors != nil && len(errs) > 0 {
 		s.CollectErrors(label, errs)
+	}
+	if s.CollectSeries != nil {
+		var series []harness.PointSeries
+		for i, m := range ms {
+			if m.Series != nil {
+				series = append(series, harness.PointSeries{
+					Label: points[i].Series,
+					Load:  points[i].Load,
+					Data:  m.Series.JSON(),
+				})
+			}
+		}
+		if len(series) > 0 {
+			s.CollectSeries(label, series)
+		}
 	}
 	return ms
 }

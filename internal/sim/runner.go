@@ -13,6 +13,7 @@ import (
 	"crnet/internal/flit"
 	"crnet/internal/invariant"
 	"crnet/internal/network"
+	"crnet/internal/obs"
 	"crnet/internal/stats"
 	"crnet/internal/topology"
 	"crnet/internal/traffic"
@@ -49,6 +50,15 @@ type Config struct {
 	// channel closes. The crash-proof sweep harness uses it to reclaim
 	// points that exceed their wall-clock budget.
 	Cancel <-chan struct{}
+
+	// SampleEvery, when positive, turns on the per-cycle metrics sampler:
+	// every SampleEvery cycles the observability registry (per-VC buffer
+	// occupancy, in-flight worms, link utilization, kill/eject counters)
+	// is snapshotted into a ring buffer exported as Metrics.Series.
+	SampleEvery int64
+	// SampleCap bounds the ring buffer; once full, the oldest samples are
+	// evicted so the series covers the tail of the run. 0 means 512.
+	SampleCap int
 }
 
 func (c *Config) fillDefaults() error {
@@ -101,6 +111,19 @@ type Metrics struct {
 	P99Latency int64
 	MaxLatency int64
 
+	// Phase latency decomposition: mean cycles per delivered window
+	// message spent in each phase. The four phases partition AvgLatency
+	// exactly (see obs.PhaseBreakdown): Queue is creation to first
+	// injection, Retry first injection to the delivered attempt's
+	// injection, Flight injection to header arrival, Drain header arrival
+	// to tail drained. BackoffLatency is the retransmission-gap portion
+	// of RetryLatency.
+	QueueLatency   float64
+	RetryLatency   float64
+	FlightLatency  float64
+	DrainLatency   float64
+	BackoffLatency float64
+
 	// Protocol event rates, normalized per delivered window message.
 	KillsPerMsg   float64
 	RetriesPerMsg float64
@@ -121,6 +144,13 @@ type Metrics struct {
 	// Watchdog results (zero unless Config.Watchdog was set).
 	Violations    int64 // invariant violations recorded
 	WatchdogScans int64 // audits performed
+
+	// Phases holds the full per-phase latency histograms behind the mean
+	// decomposition above (percentiles, sums, clamp counters).
+	Phases *obs.PhaseBreakdown `json:"-"`
+	// Series is the sampled counter/gauge time-series; nil unless
+	// Config.SampleEvery was positive.
+	Series *obs.Series `json:"-"`
 }
 
 // Saturated reports whether the run is past the saturation point, using
@@ -154,6 +184,67 @@ func takeSnapshot(net *network.Network) snapshot {
 	}
 }
 
+// buildSampler wires the observability registry to net — tracer-fed
+// event counters plus polled occupancy/utilization gauges — and returns
+// a sampler ticking it every cfg.SampleEvery cycles.
+func buildSampler(net *network.Network, cfg Config) *obs.Sampler {
+	reg := obs.NewRegistry()
+
+	injected := reg.Counter("injected_flits")
+	ejected := reg.Counter("ejected_flits")
+	corrupted := reg.Counter("corrupt_flits")
+	kills := reg.Counter("kill_signals")
+	fkills := reg.Counter("fkill_signals")
+	net.SetTracer(func(e network.Event) {
+		switch e.Kind {
+		case network.EvInject:
+			injected.Inc()
+		case network.EvEject:
+			ejected.Inc()
+		case network.EvCorrupt:
+			corrupted.Inc()
+		case network.EvKill:
+			kills.Inc()
+		case network.EvFKill:
+			fkills.Inc()
+		}
+	})
+
+	// Gauges are polled in registration order; occupancy_total runs
+	// first and caches the per-VC scan for the occupancy_vc gauges.
+	var occ []int64
+	reg.Gauge("occupancy_total", func() float64 {
+		occ = net.OccupancyPerVC()
+		var t int64
+		for _, v := range occ {
+			t += v
+		}
+		return float64(t)
+	})
+	for vc := 0; vc < net.VCs(); vc++ {
+		vc := vc
+		reg.Gauge(fmt.Sprintf("occupancy_vc%d", vc), func() float64 { return float64(occ[vc]) })
+	}
+	reg.Gauge("injection_occupancy", func() float64 { return float64(net.InjectionOccupancy()) })
+	reg.Gauge("inflight_worms", func() float64 { return float64(net.PendingWorms()) })
+	reg.Gauge("inflight_flits", func() float64 { return float64(net.InFlightFlits()) })
+	reg.Gauge("queued_messages", func() float64 { return float64(net.QueuedMessages()) })
+	reg.Gauge("source_kills", func() float64 { return float64(net.InjectorStats().Kills) })
+	links := float64(net.LinkCount())
+	reg.Gauge("link_utilization", func() float64 {
+		if c := net.Cycle(); c > 0 && links > 0 {
+			return float64(net.LinkFlits()) / (links * float64(c))
+		}
+		return 0
+	})
+
+	cap := cfg.SampleCap
+	if cap <= 0 {
+		cap = 512
+	}
+	return obs.NewSampler(reg, cfg.SampleEvery, cap)
+}
+
 // Run executes one simulation and returns its metrics. A non-nil error
 // alongside non-zero metrics means the run aborted mid-flight — a
 // watchdog violation or a cancellation — and the metrics cover only the
@@ -184,8 +275,14 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 
 	window := make(map[flit.MessageID]int64) // message -> creation cycle
 	hist := stats.NewHistogram(16, 4096)
+	phases := obs.NewPhaseBreakdown(16, 4096)
 	var lat stats.Welford
 	var s0, s1 snapshot
+
+	var sampler *obs.Sampler
+	if cfg.SampleEvery > 0 {
+		sampler = buildSampler(net, cfg)
+	}
 
 	measureStart := cfg.WarmupCycles
 	measureEnd := cfg.WarmupCycles + cfg.MeasureCycles
@@ -212,6 +309,9 @@ loop:
 			}
 		}
 		net.Step()
+		if sampler != nil {
+			sampler.Tick(cycle)
+		}
 		for _, d := range net.DrainDeliveries() {
 			created, ok := window[d.Msg]
 			if !ok {
@@ -222,6 +322,11 @@ loop:
 			l := d.Time - created
 			lat.Add(float64(l))
 			hist.Add(l)
+			phases.Add(d.Stamps.FirstInject-created,
+				d.Stamps.AttemptInject-d.Stamps.FirstInject,
+				d.HeadArrived-d.Stamps.AttemptInject,
+				d.Time-d.HeadArrived,
+				d.Stamps.Backoff)
 			if !d.DataOK {
 				corrupt++
 			}
@@ -267,6 +372,12 @@ loop:
 		P95Latency:       hist.Percentile(0.95),
 		P99Latency:       hist.Percentile(0.99),
 		MaxLatency:       hist.Max(),
+		QueueLatency:     phases.Queue.Mean(),
+		RetryLatency:     phases.Retry.Mean(),
+		FlightLatency:    phases.Flight.Mean(),
+		DrainLatency:     phases.Drain.Mean(),
+		BackoffLatency:   phases.Backoff.Mean(),
+		Phases:           phases,
 		DeliveredCorrupt: corrupt,
 		FailedMessages:   net.InjectorStats().Failed,
 		OrderErrors:      net.ReceiverStats().OrderErrors,
@@ -288,6 +399,12 @@ loop:
 	if dog != nil {
 		m.Violations = int64(len(dog.Violations()))
 		m.WatchdogScans = dog.Scans()
+	}
+	if sampler != nil {
+		m.Series = sampler.Series()
+	}
+	if err := phases.CheckSum(); err != nil && abortErr == nil {
+		abortErr = err
 	}
 	return m, net, abortErr
 }

@@ -64,8 +64,13 @@ func (w *Welford) Min() float64 { return w.min }
 func (w *Welford) Max() float64 { return w.max }
 
 // Merge combines another estimator's observations into w (parallel
-// Chan et al. update).
+// Chan et al. update). Merging an estimator into itself is rejected:
+// the update reads o while mutating w, so aliasing would silently
+// double-count every moment (n and m2 doubled, variance corrupted).
 func (w *Welford) Merge(o *Welford) {
+	if w == o {
+		panic("stats: Welford.Merge with itself would double-count")
+	}
 	if o.n == 0 {
 		return
 	}
@@ -95,6 +100,7 @@ type Histogram struct {
 	total    int64
 	sum      int64
 	maxSeen  int64
+	clamped  int64 // negative observations clamped to zero
 }
 
 // NewHistogram returns a histogram with the given bucket width and bucket
@@ -107,10 +113,14 @@ func NewHistogram(width int64, buckets int) *Histogram {
 }
 
 // Add records one non-negative observation. Negative values are clamped
-// to zero.
+// to zero and counted (see ClampedNegative): the mean and sum then
+// cover the clamped value, so a non-zero clamp count marks the
+// histogram's aggregates as suspect — callers deriving values by
+// subtraction (e.g. phase timestamps) should assert it stays zero.
 func (h *Histogram) Add(v int64) {
 	if v < 0 {
 		v = 0
+		h.clamped++
 	}
 	if v > h.maxSeen {
 		h.maxSeen = v
@@ -140,9 +150,18 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observation.
 func (h *Histogram) Max() int64 { return h.maxSeen }
 
+// Sum returns the exact sum of all observations (after clamping).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// ClampedNegative returns how many negative observations were clamped
+// to zero by Add. Non-zero means Mean()/Sum() no longer reflect the
+// raw data the caller passed in.
+func (h *Histogram) ClampedNegative() int64 { return h.clamped }
+
 // Percentile returns an upper bound on the p-quantile (0 < p <= 1),
-// quantized to bucket boundaries. Observations in the overflow bucket
-// report the maximum seen value.
+// quantized to bucket boundaries and clamped to the maximum seen value
+// — a reported percentile can never exceed Max(). Observations in the
+// overflow bucket report the maximum seen value.
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.total == 0 {
 		return 0
@@ -158,7 +177,13 @@ func (h *Histogram) Percentile(p float64) int64 {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= rank {
-			return (int64(i) + 1) * h.width
+			// The bucket's upper bound can overshoot the data (e.g. a
+			// single observation of 3 in a width-10 bucket would report
+			// 10); the true quantile can never exceed the maximum.
+			if ub := (int64(i) + 1) * h.width; ub < h.maxSeen {
+				return ub
+			}
+			return h.maxSeen
 		}
 	}
 	return h.maxSeen

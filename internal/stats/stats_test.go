@@ -117,8 +117,13 @@ func TestHistogramBasics(t *testing.T) {
 	if p := h.Percentile(0.5); p != 50 {
 		t.Fatalf("p50 = %d, want 50", p)
 	}
-	if p := h.Percentile(1.0); p != 100 {
-		t.Fatalf("p100 = %d, want 100", p)
+	// The top bucket's upper bound (100) exceeds the data; the result is
+	// clamped to the maximum observation.
+	if p := h.Percentile(1.0); p != 99 {
+		t.Fatalf("p100 = %d, want 99 (max seen)", p)
+	}
+	if h.Sum() != 4950 {
+		t.Fatalf("sum = %d", h.Sum())
 	}
 }
 
@@ -137,9 +142,56 @@ func TestHistogramOverflow(t *testing.T) {
 func TestHistogramNegativeClamped(t *testing.T) {
 	h := NewHistogram(10, 4)
 	h.Add(-5)
-	if h.N() != 1 || h.Percentile(1) != 10 {
-		t.Fatal("negative value not clamped to zero bucket")
+	if h.N() != 1 || h.Percentile(1) != 0 {
+		t.Fatalf("negative value not clamped to zero: p100 = %d", h.Percentile(1))
 	}
+	if h.ClampedNegative() != 1 {
+		t.Fatalf("clamped counter = %d, want 1", h.ClampedNegative())
+	}
+	h.Add(7)
+	if h.ClampedNegative() != 1 || h.Sum() != 7 {
+		t.Fatal("clamp counter or sum moved on a valid observation")
+	}
+}
+
+// TestPercentileNeverExceedsMax is the regression test for the bucket
+// upper-bound bug: Percentile used to return (i+1)*width, which can
+// exceed the largest observation (width 10, single observation 3 ->
+// P50 reported 10 > max 3). Every reported percentile must now be
+// bounded by Max().
+func TestPercentileNeverExceedsMax(t *testing.T) {
+	h := NewHistogram(10, 8)
+	h.Add(3)
+	if p := h.Percentile(0.5); p != 3 {
+		t.Fatalf("p50 of single observation 3 = %d, want 3", p)
+	}
+
+	r := rng.New(11)
+	cases := []*Histogram{h}
+	big := NewHistogram(16, 32)
+	for i := 0; i < 2000; i++ {
+		big.Add(int64(r.Intn(1000))) // exercises overflow too (>= 512)
+	}
+	cases = append(cases, big)
+	for ci, hh := range cases {
+		for p := 0.01; p <= 1.0; p += 0.01 {
+			if got := hh.Percentile(p); got > hh.Max() {
+				t.Fatalf("case %d: Percentile(%.2f) = %d exceeds Max() = %d", ci, p, got, hh.Max())
+			}
+		}
+	}
+}
+
+func TestWelfordSelfMergePanics(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-merge did not panic (it would double-count n and m2)")
+		}
+	}()
+	w.Merge(&w)
 }
 
 func TestHistogramEmptyAndBadShape(t *testing.T) {
