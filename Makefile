@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-harness chaos bench results profile
+.PHONY: verify build test vet race race-harness chaos bench bench-kernel alloc-gate results profile
 
-# Tier-1: build + tests, then vet, then the worker pool's determinism
-# test under the race detector (fast, targeted), then the chaos soak.
-verify: build test vet race-harness chaos
+# Tier-1: build + tests, then vet, then the cycle-kernel allocation
+# gate, then the worker pool's determinism test under the race detector
+# (fast, targeted), then the chaos soak.
+verify: build test vet alloc-gate race-harness chaos
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,41 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# Allocation-regression gate: after warmup, one loaded simulation cycle
+# (traffic + step + drain) must not allocate. Run uncached so it cannot
+# silently go stale.
+alloc-gate:
+	$(GO) test ./internal/network/ -run TestSteadyStateZeroAlloc -count=1
+
+# Cycle-kernel microbenchmarks (idle / low-load / saturated step cost on
+# a 16x16 torus), regenerating BENCH_PR4.json. The baseline block pins
+# the pre-refactor numbers (commit 2ec2b68, same machine class) so the
+# artifact always carries the before/after comparison.
+bench-kernel:
+	@mkdir -p profile
+	$(GO) test ./internal/network/ -run '^$$' -bench BenchmarkStep -benchmem -count=1 \
+		| tee profile/bench_kernel.txt
+	@awk 'BEGIN { \
+		print "{"; \
+		print "  \"schema\": \"kernel-bench/1\","; \
+		print "  \"benchmark\": \"internal/network BenchmarkStep* (16x16 CR torus, 2 VCs)\","; \
+		print "  \"baseline_commit\": \"2ec2b68\","; \
+		print "  \"baseline\": ["; \
+		print "    {\"name\": \"StepIdle\", \"ns_per_op\": 32167, \"bytes_per_op\": 0, \"allocs_per_op\": 0},"; \
+		print "    {\"name\": \"StepLowLoad\", \"ns_per_op\": 86231, \"bytes_per_op\": 19112, \"allocs_per_op\": 180},"; \
+		print "    {\"name\": \"StepSaturated\", \"ns_per_op\": 197583, \"bytes_per_op\": 70100, \"allocs_per_op\": 533}"; \
+		print "  ],"; \
+		print "  \"current\": ["; \
+	} \
+	/^BenchmarkStep/ { \
+		name = $$1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$$/, "", name); \
+		if (n++) printf ",\n"; \
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			name, $$3, $$5, $$7; \
+	} \
+	END { print "\n  ]\n}" }' profile/bench_kernel.txt > BENCH_PR4.json
+	@cat BENCH_PR4.json
 
 # Regenerate the quick-scale result tables checked into the repo.
 results:

@@ -96,14 +96,19 @@ const maxFailureRecords = 1024
 // this ordering for bandwidth (a later message may overtake a congested
 // earlier one through the second ejection channel).
 type Injector struct {
-	cfg    Config
-	topo   topology.Topology
-	node   topology.NodeID
-	ports  []Port
-	chs    []chState
-	queue  []flit.Message
-	jitter *rng.Source
-	stats  InjStats
+	cfg   Config
+	topo  topology.Topology
+	node  topology.NodeID
+	ports []Port
+	chs   []chState
+	// queue[qhead:] holds the pending messages; the consumed prefix is
+	// compacted away periodically so steady-state popping neither shifts
+	// elements nor reallocates.
+	queue      []flit.Message
+	qhead      int
+	jitter     *rng.Source
+	jitterSeed uint64
+	stats      InjStats
 
 	failures []Failure
 }
@@ -120,14 +125,28 @@ func NewInjector(cfg Config, topo topology.Topology, node topology.NodeID, ports
 	if len(ports) == 0 {
 		panic("core: injector needs at least one port")
 	}
+	js := seed ^ (uint64(node)+1)*0x9e3779b97f4a7c15
 	return &Injector{
-		cfg:    cfg,
-		topo:   topo,
-		node:   node,
-		ports:  ports,
-		chs:    make([]chState, len(ports)),
-		jitter: rng.New(seed ^ (uint64(node)+1)*0x9e3779b97f4a7c15),
+		cfg:        cfg,
+		topo:       topo,
+		node:       node,
+		ports:      ports,
+		chs:        make([]chState, len(ports)),
+		jitter:     rng.New(js),
+		jitterSeed: js,
 	}
+}
+
+// Reset returns the injector to its initial state: channels idle, queue
+// empty, stats zeroed, and the jitter stream rewound to its seed, so a
+// reset injector reproduces a fresh one's behavior exactly.
+func (in *Injector) Reset() {
+	clear(in.chs)
+	in.queue = in.queue[:0]
+	in.qhead = 0
+	in.stats = InjStats{}
+	in.failures = in.failures[:0]
+	in.jitter = rng.New(in.jitterSeed)
 }
 
 // backoffGap returns the jittered retransmission gap after a failed
@@ -146,7 +165,7 @@ func (in *Injector) Stats() InjStats { return in.stats }
 func (in *Injector) Failures() []Failure { return in.failures }
 
 // QueueLen returns the number of submitted messages not yet being sent.
-func (in *Injector) QueueLen() int { return len(in.queue) }
+func (in *Injector) QueueLen() int { return len(in.queue) - in.qhead }
 
 // Busy reports whether any channel is sending or backing off.
 func (in *Injector) Busy() bool {
@@ -233,11 +252,21 @@ func (in *Injector) tickChannel(now int64, i int) {
 	ch := &in.chs[i]
 	switch ch.phase {
 	case chIdle:
-		if len(in.queue) == 0 || !in.ports[i].Ready() {
+		if in.qhead == len(in.queue) || !in.ports[i].Ready() {
 			return
 		}
-		m := in.queue[0]
-		in.queue = in.queue[1:]
+		m := in.queue[in.qhead]
+		in.qhead++
+		if in.qhead == len(in.queue) {
+			// Drained: rewind onto the retained backing array.
+			in.queue = in.queue[:0]
+			in.qhead = 0
+		} else if in.qhead >= 64 && in.qhead*2 >= len(in.queue) {
+			// Compact the consumed prefix so the array stops growing.
+			n := copy(in.queue, in.queue[in.qhead:])
+			in.queue = in.queue[:n]
+			in.qhead = 0
+		}
 		ch.frame, ch.imin = in.buildFrame(m, 0)
 		ch.phase = chSending
 		ch.next = 0

@@ -68,8 +68,13 @@ type Receiver struct {
 	fkill  FKiller
 	checks bool // end-to-end payload pattern checking
 
-	asm        map[flit.WormID]*assembly
+	asm map[flit.WormID]*assembly
+	// deliveries accumulates the cycle's completions; drained holds the
+	// slice handed out by the previous Drain, reused as the next
+	// accumulation buffer (double buffering — no allocation per cycle).
 	deliveries []Delivery
+	drained    []Delivery
+	pool       []*assembly                        // recycled assembly records
 	lastSeen   map[topology.NodeID]flit.MessageID // per-source FIFO watermark
 	stats      RecvStats
 }
@@ -100,12 +105,42 @@ func (rc *Receiver) Stats() RecvStats { return rc.stats }
 func (rc *Receiver) Pending() int { return len(rc.asm) }
 
 // Drain returns and clears the deliveries accumulated since the last
-// call. The simulation harness drains once per cycle.
+// call. The simulation harness drains once per cycle. The returned slice
+// is only valid until the call after next: the receiver alternates two
+// buffers, so callers must copy anything they keep past one cycle.
 func (rc *Receiver) Drain() []Delivery {
 	d := rc.deliveries
-	rc.deliveries = nil
+	rc.deliveries = rc.drained[:0]
+	rc.drained = d
 	return d
 }
+
+// Reset returns the receiver to its initial empty state, retaining its
+// allocated buffers.
+func (rc *Receiver) Reset() {
+	for w, a := range rc.asm {
+		rc.putAsm(a)
+		delete(rc.asm, w)
+	}
+	clear(rc.lastSeen)
+	rc.deliveries = rc.deliveries[:0]
+	rc.drained = rc.drained[:0]
+	rc.stats = RecvStats{}
+}
+
+// getAsm takes an assembly record from the pool (or allocates one) and
+// initializes it.
+func (rc *Receiver) getAsm() *assembly {
+	if n := len(rc.pool); n > 0 {
+		a := rc.pool[n-1]
+		rc.pool = rc.pool[:n-1]
+		*a = assembly{}
+		return a
+	}
+	return &assembly{}
+}
+
+func (rc *Receiver) putAsm(a *assembly) { rc.pool = append(rc.pool, a) }
 
 // Accept consumes one flit arriving on ejection channel ch at cycle now.
 func (rc *Receiver) Accept(ch int, f flit.Flit, now int64) {
@@ -121,7 +156,8 @@ func (rc *Receiver) Accept(ch int, f flit.Flit, now int64) {
 			return
 		}
 		h := flit.DecodeHeader(f.Payload)
-		a = &assembly{src: h.Src, msg: f.Worm.Message(), dataLen: h.DataLen, nextSeq: 1, channel: ch, dataOK: true,
+		a = rc.getAsm()
+		*a = assembly{src: h.Src, msg: f.Worm.Message(), dataLen: h.DataLen, nextSeq: 1, channel: ch, dataOK: true,
 			stamps: f.Stamps, headArrived: now}
 		rc.asm[f.Worm] = a
 		rc.stats.DataFlits++
@@ -164,12 +200,16 @@ func (rc *Receiver) Accept(ch int, f flit.Flit, now int64) {
 // reject tears the worm down backward and forgets it.
 func (rc *Receiver) reject(ch int, worm flit.WormID) {
 	rc.stats.FKillsSent++
-	delete(rc.asm, worm)
+	if a, ok := rc.asm[worm]; ok {
+		rc.putAsm(a)
+		delete(rc.asm, worm)
+	}
 	rc.fkill.FKill(ch, worm)
 }
 
 func (rc *Receiver) deliver(worm flit.WormID, a *assembly, now int64) {
 	delete(rc.asm, worm)
+	defer rc.putAsm(a)
 	rc.stats.Delivered++
 	if !a.dataOK {
 		rc.stats.CorruptData++
@@ -193,7 +233,8 @@ func (rc *Receiver) deliver(worm flit.WormID, a *assembly, now int64) {
 // Discard drops the partial assembly of a worm whose forward KILL
 // reached the destination.
 func (rc *Receiver) Discard(worm flit.WormID) {
-	if _, ok := rc.asm[worm]; ok {
+	if a, ok := rc.asm[worm]; ok {
+		rc.putAsm(a)
 		delete(rc.asm, worm)
 		rc.stats.KilledPartial++
 	}

@@ -1,0 +1,113 @@
+package network
+
+import (
+	"fmt"
+
+	"crnet/internal/faults"
+)
+
+// Hooks is the single seam through which external machinery attaches to
+// the cycle kernel. Everything that is not the network itself — the
+// fault timeline, the invariant watchdog, the metrics sampler — plugs in
+// here; the kernel consults each at one documented point of the step
+// pipeline and nowhere else.
+type Hooks struct {
+	// Faults is the permanent-fault timeline, consulted once per cycle in
+	// the fault-events phase. A nil Faults falls back to Config.Faults
+	// (which may itself be nil: no permanent faults).
+	Faults *faults.Schedule
+
+	// Monitor runs after the phase pipeline, before the cycle counter
+	// advances (it sees the network state at the end of cycle N with
+	// Cycle() == N). Its first error latches the network unhealthy (see
+	// Health); subsequent cycles skip it.
+	Monitor Monitor
+
+	// Observer runs last, after the cycle counter has advanced, with the
+	// just-completed cycle number. Metric samplers hook in here: polled
+	// gauges see the post-step state exactly as external callers polling
+	// between Step calls would.
+	Observer func(cycle int64)
+}
+
+// SetHooks installs the hook set, replacing any previous one. A nil
+// Faults is substituted with Config.Faults so installing a monitor or
+// observer never silently disables the configured fault timeline.
+func (n *Network) SetHooks(h Hooks) {
+	if h.Faults == nil {
+		h.Faults = n.cfg.Faults
+	}
+	n.hooks = h
+}
+
+// enginePhase is one stage of the per-cycle kernel. run reports whether
+// any flit made progress (moved across the switch or arrived over a
+// link) — the signal feeding CyclesSinceProgress.
+type enginePhase struct {
+	name string
+	run  func(*Network) bool
+}
+
+// pipeline is the cycle kernel's phase sequence — the authoritative,
+// ordered statement of what one simulated cycle does. Determinism
+// depends on this order and on every phase iterating its worklist in
+// ascending (node, port) order; see the package comment for why signals
+// precede arrivals.
+var pipeline = [...]enginePhase{
+	{"signals", func(n *Network) bool { n.phaseSignals(); return false }},
+	{"arrivals", (*Network).phaseArrivals},
+	{"fault-events", func(n *Network) bool { n.phaseFaultEvents(); return false }},
+	{"injectors", func(n *Network) bool { n.phaseInjectors(); return false }},
+	{"allocate", func(n *Network) bool { n.phaseAllocate(); return false }},
+	{"transmit", (*Network).phaseTransmit},
+	{"fkills", func(n *Network) bool { n.phaseFKills(); return false }},
+	{"credits", func(n *Network) bool { n.phaseCredits(); return false }},
+}
+
+// Step advances the simulation one cycle: the phase pipeline, invariant
+// checks (Config.Check), the Monitor hook, the cycle increment, and the
+// Observer hook, in that order.
+func (n *Network) Step() {
+	progressed := false
+	for i := range pipeline {
+		if pipeline[i].run(n) {
+			progressed = true
+		}
+	}
+	if progressed {
+		n.lastProgress = n.cycle
+	}
+	if n.cfg.Check {
+		for _, r := range n.routers {
+			if err := r.CheckInvariants(); err != nil {
+				panic(fmt.Sprintf("cycle %d: %v", n.cycle, err))
+			}
+		}
+	}
+	if n.hooks.Monitor != nil && n.health == nil {
+		if err := n.hooks.Monitor.AfterStep(n); err != nil {
+			n.health = err
+		}
+	}
+	n.cycle++
+	if n.hooks.Observer != nil {
+		n.hooks.Observer(n.cycle - 1)
+	}
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// PhaseNames returns the pipeline's phase names in execution order, for
+// documentation and tooling.
+func PhaseNames() []string {
+	out := make([]string, len(pipeline))
+	for i, p := range pipeline {
+		out[i] = p.name
+	}
+	return out
+}

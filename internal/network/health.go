@@ -20,7 +20,9 @@ type Monitor interface {
 }
 
 // SetMonitor installs (or, with nil, removes) the per-cycle monitor.
-func (n *Network) SetMonitor(m Monitor) { n.monitor = m }
+// It is shorthand for setting Hooks.Monitor (see SetHooks), leaving the
+// other hooks in place.
+func (n *Network) SetMonitor(m Monitor) { n.hooks.Monitor = m }
 
 // Health returns the first error the monitor reported, or nil while the
 // run is healthy. Once set it never clears.

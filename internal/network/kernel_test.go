@@ -1,0 +1,213 @@
+package network
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/faults"
+	"crnet/internal/rng"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+// TestNodeSetSortedIteration pins the worklist determinism contract:
+// whatever order ids are added in, prepare yields ascending iteration
+// order, and dedup holds.
+func TestNodeSetSortedIteration(t *testing.T) {
+	s := newNodeSet(16)
+	for _, id := range []int32{9, 3, 14, 3, 0, 9, 7, 15, 1, 0} {
+		s.add(id)
+	}
+	s.prepare()
+	want := []int32{0, 1, 3, 7, 9, 14, 15}
+	if !reflect.DeepEqual(s.ids, want) {
+		t.Fatalf("ids after prepare = %v, want %v", s.ids, want)
+	}
+	// Pruning from the middle keeps the rest sorted without re-marking
+	// dirty; a subsequent add must still end up in order.
+	s.drop(7)
+	kept := s.ids[:0]
+	for _, id := range s.ids {
+		if s.member[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.ids = kept
+	s.add(2)
+	s.prepare()
+	want = []int32{0, 1, 2, 3, 9, 14, 15}
+	if !reflect.DeepEqual(s.ids, want) {
+		t.Fatalf("ids after drop+add = %v, want %v", s.ids, want)
+	}
+	s.reset()
+	if len(s.ids) != 0 || s.has(3) {
+		t.Fatalf("reset left state behind: ids=%v", s.ids)
+	}
+}
+
+// kernelSnapshot is everything observable about a run that the
+// active-set scheduler must reproduce exactly: the per-cycle delivery
+// stream and every counter the stats layer exposes.
+type kernelSnapshot struct {
+	deliveries []core.Delivery
+	perCycle   []int // deliveries drained after each Step
+	cycle      int64
+	inj        core.InjStats
+	recv       core.RecvStats
+	flits      int64 // FlitsMoved
+	transient  int64
+	dropped    int64
+}
+
+func runKernel(n *Network, gen *traffic.Generator, trafficCycles, maxCycles int64) kernelSnapshot {
+	var snap kernelSnapshot
+	topo := n.Topology()
+	for c := int64(0); c < maxCycles; c++ {
+		if c < trafficCycles {
+			for node := 0; node < topo.Nodes(); node++ {
+				if m, ok := gen.Tick(topology.NodeID(node), c); ok {
+					n.SubmitMessage(m)
+				}
+			}
+		}
+		n.Step()
+		ds := n.DrainDeliveries()
+		snap.perCycle = append(snap.perCycle, len(ds))
+		snap.deliveries = append(snap.deliveries, ds...)
+		if c >= trafficCycles && n.QueuedMessages() == 0 && n.PendingWorms() == 0 && !anyBusy(n) {
+			break
+		}
+	}
+	snap.cycle = n.Cycle()
+	snap.inj = n.InjectorStats()
+	snap.recv = n.ReceiverStats()
+	snap.flits = n.RouterStats().FlitsMoved
+	snap.transient = n.TransientFaults()
+	snap.dropped = n.flitsDropped
+	return snap
+}
+
+// TestActiveSetMatchesBruteForce is the scheduling soak: the worklist
+// stepper and the scan-everything reference stepper must produce
+// byte-identical runs — same deliveries in the same cycles, same cycle
+// counts, same stats — across random small topologies with transient
+// corruption, kill-heavy load, and permanent fail/repair timelines.
+func TestActiveSetMatchesBruteForce(t *testing.T) {
+	r := rng.New(0xAC71BE)
+	const configs = 10
+	for i := 0; i < configs; i++ {
+		cfg, load, msgLen := randomConfig(r, uint64(i)+7000)
+		// Always corrupt a little and always run a fail/repair timeline:
+		// the fault paths are where activation bookkeeping is subtlest.
+		cfg.TransientRate = 2e-3
+		timeline := faults.TimelineConfig{
+			Links:    LinksOf(cfg.Topo),
+			LinkMTBF: 900, LinkMTTR: 60,
+			Start: 50, Horizon: 2000,
+			Seed: uint64(i) * 77,
+		}
+		name := fmt.Sprintf("cfg%02d_%s_%s", i, cfg.Topo.Name(), cfg.Protocol)
+		t.Run(name, func(t *testing.T) {
+			run := func(brute bool) kernelSnapshot {
+				c := cfg
+				c.Faults = faults.RandomTimeline(timeline)
+				n := New(c)
+				n.bruteForce = brute
+				gen := traffic.NewGenerator(c.Topo, traffic.Uniform{Nodes: c.Topo.Nodes()}, load, msgLen, c.Seed+5)
+				return runKernel(n, gen, 1500, 1500*60)
+			}
+			active, brute := run(false), run(true)
+			if !reflect.DeepEqual(active, brute) {
+				t.Errorf("active-set run diverged from brute-force reference:\nactive: cycle=%d deliveries=%d inj=%+v flits=%d\nbrute:  cycle=%d deliveries=%d inj=%+v flits=%d",
+					active.cycle, len(active.deliveries), active.inj, active.flits,
+					brute.cycle, len(brute.deliveries), brute.inj, brute.flits)
+			}
+		})
+	}
+}
+
+// TestResetDeterminism: a Reset network must replay a run cycle for
+// cycle — same deliveries, same stats — as a freshly constructed one,
+// including with transient corruption and a permanent-fault timeline.
+func TestResetDeterminism(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	// Each construction gets its own timeline: the schedule is stateful
+	// (a cursor Reset rewinds), so sharing one across networks would
+	// hand the second network a spent schedule.
+	newNet := func() *Network {
+		return New(Config{
+			Topo:          topo,
+			Alg:           routing.MinimalAdaptive{},
+			Protocol:      core.FCR,
+			Backoff:       core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+			VCs:           2,
+			BufDepth:      2,
+			TransientRate: 1e-3,
+			Seed:          42,
+			Check:         true,
+			Faults: faults.RandomTimeline(faults.TimelineConfig{
+				Links:    LinksOf(topo),
+				LinkMTBF: 600, LinkMTTR: 40,
+				Start: 20, Horizon: 1000,
+				Seed: 9,
+			}),
+		})
+	}
+	run := func(n *Network) kernelSnapshot {
+		gen := traffic.NewGenerator(topo, traffic.Uniform{Nodes: topo.Nodes()}, 0.3, 6, 123)
+		return runKernel(n, gen, 800, 800*50)
+	}
+	n := newNet()
+	first := run(n)
+	n.Reset()
+	if n.Cycle() != 0 || n.PendingWorms() != 0 || n.QueuedMessages() != 0 {
+		t.Fatalf("Reset left residue: cycle=%d worms=%d queued=%d",
+			n.Cycle(), n.PendingWorms(), n.QueuedMessages())
+	}
+	second := run(n)
+	fresh := run(newNet())
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("run after Reset diverged: first cycle=%d deliveries=%d, second cycle=%d deliveries=%d",
+			first.cycle, len(first.deliveries), second.cycle, len(second.deliveries))
+	}
+	if !reflect.DeepEqual(first, fresh) {
+		t.Errorf("fresh network diverged from original: first cycle=%d deliveries=%d, fresh cycle=%d deliveries=%d",
+			first.cycle, len(first.deliveries), fresh.cycle, len(fresh.deliveries))
+	}
+}
+
+// TestSteadyStateZeroAlloc is the allocation gate for the cycle kernel:
+// after warmup, stepping a loaded network — traffic generation,
+// submission, stepping, draining — must not allocate. Pool growth and
+// slice reuse must have reached steady state.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	topo := topology.NewTorus(8, 2)
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Seed:     1,
+	})
+	gen := traffic.NewGenerator(topo, traffic.Uniform{Nodes: topo.Nodes()}, 0.3, 8, 1)
+	cycle := int64(0)
+	step := func() {
+		for node := 0; node < topo.Nodes(); node++ {
+			if m, ok := gen.Tick(topology.NodeID(node), cycle); ok {
+				n.SubmitMessage(m)
+			}
+		}
+		n.Step()
+		n.DrainDeliveries()
+		cycle++
+	}
+	for i := 0; i < 3000; i++ { // warmup: grow pools, queues, worklists
+		step()
+	}
+	if avg := testing.AllocsPerRun(500, step); avg > 0 {
+		t.Fatalf("steady-state step loop allocates: %.2f allocs/run, want 0", avg)
+	}
+}

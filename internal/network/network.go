@@ -18,8 +18,16 @@
 //     reach receivers, receiver FKILL requests are queued.
 //  7. Receiver FKILL tear-downs (local; propagation next cycle).
 //  8. Credit application (credits earned this cycle become visible next).
-//  9. Invariant checks (Config.Check) and the installed health Monitor
-//     (SetMonitor), which can latch the network unhealthy.
+//  9. Invariant checks (Config.Check), the Monitor hook (which can latch
+//     the network unhealthy), the cycle increment, and the Observer hook.
+//
+// The pipeline itself is declared in engine.go; external machinery (the
+// fault timeline, the invariant watchdog, the metrics sampler) attaches
+// through the Hooks seam there. The phases are activity-driven: each
+// walks an incrementally maintained worklist of busy links and active
+// routers/injectors/receivers (see step.go), so idle cycles cost
+// O(active) rather than O(network) while producing byte-identical
+// results to a full scan.
 package network
 
 import (
@@ -191,19 +199,36 @@ type Network struct {
 	receivers []*core.Receiver
 	links     [][]link // [node][port]
 
-	cycle      int64
-	signals    []scheduledSignal // due next cycle
-	sigNow     []scheduledSignal // being processed this cycle
-	credits    []creditEvent
-	fkills     []fkillReq
-	corrupter  faults.Corrupter
-	emitBuf    []router.Emit
-	wormBuf    []router.WormAt
-	deliveries []core.Delivery
+	cycle     int64
+	signals   []scheduledSignal // due next cycle
+	sigNow    []scheduledSignal // being processed this cycle
+	credits   []creditEvent
+	fkills    []fkillReq
+	corrupter faults.Corrupter
+	emitBuf   []router.Emit
+	wormBuf   []router.WormAt
 
-	tracer  Tracer
-	monitor Monitor
-	health  error
+	// deliveries accumulates this cycle's completions; drained holds the
+	// slice handed out by the previous DrainDeliveries and is reused as
+	// the next accumulation buffer (double buffering, no allocation).
+	deliveries []core.Delivery
+	drained    []core.Delivery
+
+	// Activity worklists (see step.go for the maintenance protocol).
+	busyLinks   []linkRef // links carrying a flit, ascending (node, port)
+	linkScratch []linkRef // last cycle's worklist, being consumed
+	activeR     nodeSet   // routers with buffered flits
+	activeI     nodeSet   // injectors with queued or in-flight work
+	recvPend    []int32   // receivers that accepted a flit this cycle
+	recvMark    []bool    // recvPend dedup bitmap
+
+	// bruteForce disables the worklists and restores scan-everything
+	// phases; the soak test cross-checks the two cycle by cycle.
+	bruteForce bool
+
+	tracer Tracer
+	hooks  Hooks
+	health error
 
 	lastProgress  int64
 	lastFault     int64 // cycle of the most recent fault-timeline event
@@ -221,12 +246,6 @@ func New(cfg Config) *Network {
 	}
 	topo := cfg.Topo
 	nodes := topo.Nodes()
-	var corrupter faults.Corrupter
-	if cfg.Burst != nil {
-		corrupter = faults.NewGilbertElliott(*cfg.Burst, cfg.Seed)
-	} else {
-		corrupter = faults.NewTransient(cfg.TransientRate, cfg.Seed)
-	}
 	n := &Network{
 		cfg:       cfg,
 		topo:      topo,
@@ -234,7 +253,11 @@ func New(cfg Config) *Network {
 		injectors: make([]*core.Injector, nodes),
 		receivers: make([]*core.Receiver, nodes),
 		links:     make([][]link, nodes),
-		corrupter: corrupter,
+		corrupter: newCorrupter(cfg),
+		activeR:   newNodeSet(nodes),
+		activeI:   newNodeSet(nodes),
+		recvMark:  make([]bool, nodes),
+		hooks:     Hooks{Faults: cfg.Faults},
 		lastFault: -1,
 	}
 	rcfg := cfg.routerConfig()
@@ -265,6 +288,15 @@ func New(cfg Config) *Network {
 	return n
 }
 
+// newCorrupter builds the configured transient-corruption process; New
+// and Reset share it so a reset network replays the same fault stream.
+func newCorrupter(cfg Config) faults.Corrupter {
+	if cfg.Burst != nil {
+		return faults.NewGilbertElliott(*cfg.Burst, cfg.Seed)
+	}
+	return faults.NewTransient(cfg.TransientRate, cfg.Seed)
+}
+
 // injPort adapts a router injection channel to core.Port.
 type injPort struct {
 	net  *Network
@@ -283,6 +315,7 @@ func (p injPort) Free() int {
 func (p injPort) Inject(f flit.Flit) {
 	p.net.trace(EvInject, p.node, p.ch, 0, f.Worm, f.Seq)
 	p.net.flitsInjected++
+	p.net.activateRouter(p.node)
 	p.net.routers[p.node].Inject(p.ch, f)
 }
 
@@ -317,14 +350,66 @@ func (n *Network) Injector(id topology.NodeID) *core.Injector { return n.injecto
 func (n *Network) Receiver(id topology.NodeID) *core.Receiver { return n.receivers[id] }
 
 // SubmitMessage queues m at its source node's injector.
-func (n *Network) SubmitMessage(m flit.Message) { n.injectors[m.Src].Submit(m) }
+func (n *Network) SubmitMessage(m flit.Message) {
+	n.activateInjector(m.Src)
+	n.injectors[m.Src].Submit(m)
+}
 
 // DrainDeliveries returns and clears all messages delivered since the
-// last call.
+// last call. The returned slice is only valid until the call after
+// next: the network alternates two buffers, so callers must copy
+// anything they keep past one drain interval.
 func (n *Network) DrainDeliveries() []core.Delivery {
 	d := n.deliveries
-	n.deliveries = nil
+	n.deliveries = n.drained[:0]
+	n.drained = d
 	return d
+}
+
+// Reset returns the network to its initial post-New state in place,
+// retaining allocated buffers: cycle zero, empty queues and worklists,
+// all links up, routers/injectors/receivers reset, counters cleared,
+// the transient-corruption stream re-seeded and the fault timeline
+// rewound. Installed hooks and the tracer are kept. A reset network is
+// bit-for-bit equivalent to a freshly constructed one: identical
+// traffic yields identical results (see TestResetDeterminism).
+func (n *Network) Reset() {
+	n.cycle = 0
+	n.signals = n.signals[:0]
+	n.sigNow = n.sigNow[:0]
+	n.credits = n.credits[:0]
+	n.fkills = n.fkills[:0]
+	n.corrupter = newCorrupter(n.cfg)
+	n.deliveries = n.deliveries[:0]
+	n.drained = n.drained[:0]
+	n.health = nil
+	n.lastProgress = 0
+	n.lastFault = -1
+	n.killsDropped, n.flitsDropped, n.flitsDegraded = 0, 0, 0
+	n.flitsInjected, n.flitsEjected = 0, 0
+	for id := range n.links {
+		for p := range n.links[id] {
+			l := &n.links[id][p]
+			l.up = l.exists
+			l.downRefs = 0
+			l.busy = false
+			l.flits = 0
+		}
+	}
+	for id := range n.routers {
+		n.routers[id].Reset()
+		n.injectors[id].Reset()
+		n.receivers[id].Reset()
+	}
+	n.busyLinks = n.busyLinks[:0]
+	n.linkScratch = n.linkScratch[:0]
+	n.activeR.reset()
+	n.activeI.reset()
+	for _, id := range n.recvPend {
+		n.recvMark[id] = false
+	}
+	n.recvPend = n.recvPend[:0]
+	n.hooks.Faults.Rewind()
 }
 
 // CyclesSinceProgress returns how long no flit has moved or arrived;
@@ -464,7 +549,16 @@ func (n *Network) VCs() int { return n.cfg.VCs }
 // (injection buffers are excluded; see InjectionOccupancy). The
 // per-cycle sampler polls it to build occupancy time-series.
 func (n *Network) OccupancyPerVC() []int64 {
-	occ := make([]int64, n.cfg.VCs)
+	return n.OccupancyPerVCInto(make([]int64, 0, n.cfg.VCs))
+}
+
+// OccupancyPerVCInto is OccupancyPerVC into a caller-provided buffer
+// (grown as needed), so per-cycle pollers can avoid allocating.
+func (n *Network) OccupancyPerVCInto(occ []int64) []int64 {
+	occ = occ[:0]
+	for vc := 0; vc < n.cfg.VCs; vc++ {
+		occ = append(occ, 0)
+	}
 	for id, r := range n.routers {
 		deg := len(n.links[id])
 		for p := 0; p < deg; p++ {

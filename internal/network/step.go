@@ -3,51 +3,52 @@ package network
 import (
 	"fmt"
 
+	"crnet/internal/core"
 	"crnet/internal/faults"
 	"crnet/internal/flit"
 	"crnet/internal/router"
 	"crnet/internal/topology"
 )
 
-// Step advances the simulation one cycle.
+// This file implements the pipeline phases (see engine.go for the phase
+// order and the hook seam). The kernel is activity-driven: instead of
+// scanning every link, router, injector and receiver each cycle, each
+// phase walks an incrementally maintained worklist, so an idle cycle
+// costs O(active components), not O(network).
 //
-// Signals are processed before arrivals: a tear-down signal can never
-// overtake the worm's own flits (both advance one hop per cycle and the
-// signal is emitted a cycle after the last flit), but a *new* worm's
-// head can land in the same cycle as the previous worm's chasing kill —
-// the kill must clear the channel state first.
-func (n *Network) Step() {
-	progressed := false
-	n.phaseSignals()
-	progressed = n.phaseArrivals() || progressed
-	n.phaseFaultEvents()
-	n.phaseInjectors()
-	n.phaseAllocate()
-	progressed = n.phaseTransmit() || progressed
-	n.phaseFKills()
-	n.phaseCredits()
-	if progressed {
-		n.lastProgress = n.cycle
+// Worklists and their maintenance:
+//
+//   - busyLinks: links carrying a flit, appended during transmit in
+//     ascending (node, port) order — which is exactly the order a full
+//     scan would visit them, so arrival order (and therefore every
+//     downstream result) is unchanged.
+//   - activeR: routers with at least one buffered flit. A router enters
+//     when a flit lands (arrival or injection) and leaves when transmit
+//     finds it drained. Routers without buffered flits provably no-op in
+//     both allocate and transmit (every action there is gated on a
+//     non-empty input VC), so skipping them is behavior-preserving.
+//   - activeI: injectors with queued messages or an in-flight protocol
+//     engine. An injector enters on SubmitMessage (and defensively on
+//     FKilled) and leaves when every channel is idle and the queue is
+//     empty — the state in which Tick provably does nothing.
+//   - recvPend: receivers that accepted a flit this cycle; only they can
+//     hold deliveries, so only they are drained.
+//
+// Both node sets are sorted ascending before use (nodeSet.prepare), so
+// phase order matches the full scan's and cannot depend on incidental
+// insertion order. The brute-force variants (bruteForce flag) scan
+// everything exactly as the pre-worklist kernel did; the soak test
+// cross-checks the two cycle by cycle.
+
+func (n *Network) activateRouter(id topology.NodeID) {
+	if !n.bruteForce {
+		n.activeR.add(int32(id))
 	}
-	if n.cfg.Check {
-		for _, r := range n.routers {
-			if err := r.CheckInvariants(); err != nil {
-				panic(fmt.Sprintf("cycle %d: %v", n.cycle, err))
-			}
-		}
-	}
-	if n.monitor != nil && n.health == nil {
-		if err := n.monitor.AfterStep(n); err != nil {
-			n.health = err
-		}
-	}
-	n.cycle++
 }
 
-// Run advances the simulation by the given number of cycles.
-func (n *Network) Run(cycles int64) {
-	for i := int64(0); i < cycles; i++ {
-		n.Step()
+func (n *Network) activateInjector(id topology.NodeID) {
+	if !n.bruteForce {
+		n.activeI.add(int32(id))
 	}
 }
 
@@ -55,6 +56,27 @@ func (n *Network) Run(cycles int64) {
 // transient fault corruption. Absorbed tear-down stragglers refund the
 // upstream credit immediately (deferred to the credit phase).
 func (n *Network) phaseArrivals() bool {
+	if n.bruteForce {
+		return n.phaseArrivalsBrute()
+	}
+	// Swap the worklist out; transmit refills busyLinks this cycle.
+	n.linkScratch, n.busyLinks = n.busyLinks, n.linkScratch[:0]
+	any := false
+	for _, ref := range n.linkScratch {
+		l := &n.links[ref.node][ref.port]
+		if !l.busy {
+			continue // the flit was dropped by a fault after launch
+		}
+		any = true
+		if n.arrive(int(ref.node), int(ref.port), l) {
+			n.activateRouter(l.toNode)
+		}
+	}
+	return any
+}
+
+func (n *Network) phaseArrivalsBrute() bool {
+	n.busyLinks = n.busyLinks[:0] // discard the (unused) worklist
 	any := false
 	for id := range n.links {
 		for p := range n.links[id] {
@@ -63,26 +85,35 @@ func (n *Network) phaseArrivals() bool {
 				continue
 			}
 			any = true
-			f := l.f
-			l.busy = false
-			if !l.up {
-				// The link died while the flit was in flight.
-				n.flitsDropped++
-				continue
-			}
-			if n.corrupter.Apply(&f) {
-				n.flitsDegraded++
-				n.trace(EvCorrupt, l.toNode, l.toPort, l.vc, f.Worm, f.Seq)
-			}
-			n.trace(EvArrive, l.toNode, l.toPort, l.vc, f.Worm, f.Seq)
-			if n.routers[l.toNode].AcceptFlit(l.toPort, l.vc, f) {
-				// Straggler of a torn-down worm: consumed silently,
-				// credit flows back as if it had been forwarded.
-				n.credits = append(n.credits, creditEvent{node: topology.NodeID(id), port: p, vc: l.vc, n: 1})
-			}
+			n.arrive(id, p, l)
 		}
 	}
 	return any
+}
+
+// arrive completes one link traversal: fault corruption is applied in
+// place on the link's flit slot (so the hot path allocates nothing), the
+// flit is handed to the downstream router, and straggler absorption
+// refunds the upstream credit. It reports whether the flit reached the
+// downstream router (false when the link died mid-flight).
+func (n *Network) arrive(id, p int, l *link) bool {
+	l.busy = false
+	if !l.up {
+		// The link died while the flit was in flight.
+		n.flitsDropped++
+		return false
+	}
+	if n.corrupter.Apply(&l.f) {
+		n.flitsDegraded++
+		n.trace(EvCorrupt, l.toNode, l.toPort, l.vc, l.f.Worm, l.f.Seq)
+	}
+	n.trace(EvArrive, l.toNode, l.toPort, l.vc, l.f.Worm, l.f.Seq)
+	if n.routers[l.toNode].AcceptFlit(l.toPort, l.vc, l.f) {
+		// Straggler of a torn-down worm: consumed silently, credit flows
+		// back as if it had been forwarded.
+		n.credits = append(n.credits, creditEvent{node: topology.NodeID(id), port: p, vc: l.vc, n: 1})
+	}
+	return true
 }
 
 // phaseFaultEvents applies the scheduled fault timeline: link and node
@@ -90,7 +121,7 @@ func (n *Network) phaseArrivals() bool {
 // incident to the node, both directions; causes are reference counted,
 // so a link is up only when every cause of its death has been repaired.
 func (n *Network) phaseFaultEvents() {
-	for _, ev := range n.cfg.Faults.Pop(n.cycle) {
+	for _, ev := range n.hooks.Faults.Pop(n.cycle) {
 		n.lastFault = n.cycle
 		switch {
 		case ev.Kind == faults.NodeEvent && !ev.Up:
@@ -181,7 +212,8 @@ func (n *Network) repairLink(id, p int) {
 	}
 	down.ResetInput(l.toPort)
 	// Scrub credit refunds queued for the dead-era output: the repair
-	// resets its credits to full, so applying them would overflow.
+	// resets its credits to full, so applying them would overflow. The
+	// filter compacts in place onto the queue's own backing array.
 	kept := n.credits[:0]
 	for _, c := range n.credits {
 		if int(c.node) != id || c.port != p {
@@ -196,6 +228,8 @@ func (n *Network) repairLink(id, p int) {
 }
 
 // phaseSignals delivers the tear-down signals scheduled for this cycle.
+// The queue is intrinsically activity-proportional: an idle network has
+// no signals in flight.
 func (n *Network) phaseSignals() {
 	n.sigNow, n.signals = n.signals, n.sigNow[:0]
 	for _, s := range n.sigNow {
@@ -209,16 +243,45 @@ func (n *Network) phaseSignals() {
 	}
 }
 
-// phaseInjectors advances every node's protocol engine.
+// phaseInjectors advances the protocol engine of every node with pending
+// work. An injector whose channels are all idle and whose queue is empty
+// provably does nothing in Tick, so it is pruned until the next
+// SubmitMessage re-activates it.
 func (n *Network) phaseInjectors() {
-	for _, in := range n.injectors {
-		in.Tick(n.cycle)
+	if n.bruteForce {
+		for _, in := range n.injectors {
+			in.Tick(n.cycle)
+		}
+		return
 	}
+	n.activeI.prepare()
+	kept := n.activeI.ids[:0]
+	for _, id := range n.activeI.ids {
+		in := n.injectors[id]
+		in.Tick(n.cycle)
+		if in.Busy() || in.QueueLen() > 0 {
+			kept = append(kept, id)
+		} else {
+			n.activeI.drop(id)
+		}
+	}
+	n.activeI.ids = kept
 }
 
 // phaseAllocate routes waiting headers and claims output channels.
 func (n *Network) phaseAllocate() {
-	for id, r := range n.routers {
+	if n.bruteForce {
+		for id, r := range n.routers {
+			n.emitBuf = r.RouteAndAllocate(n.emitBuf[:0])
+			if len(n.emitBuf) > 0 {
+				n.routeEmits(topology.NodeID(id), n.emitBuf)
+			}
+		}
+		return
+	}
+	n.activeR.prepare()
+	for _, id := range n.activeR.ids {
+		r := n.routers[id]
 		n.emitBuf = r.RouteAndAllocate(n.emitBuf[:0])
 		if len(n.emitBuf) > 0 {
 			n.routeEmits(topology.NodeID(id), n.emitBuf)
@@ -228,40 +291,74 @@ func (n *Network) phaseAllocate() {
 
 // phaseTransmit forwards one flit per output channel per router; ejected
 // flits reach receivers, network flits enter links, dequeues earn
-// deferred upstream credits.
+// deferred upstream credits. Routers left with no buffered flits are
+// pruned from the active set; a future arrival or injection re-adds
+// them.
 func (n *Network) phaseTransmit() bool {
-	moved := false
-	for id, r := range n.routers {
-		node := topology.NodeID(id)
-		deg := r.Degree()
-		r.Transmit(
-			func(outPort, outVC int, f flit.Flit) {
+	if n.bruteForce {
+		moved := false
+		for id := range n.routers {
+			if n.transmitRouter(id) {
 				moved = true
-				if outPort >= deg {
-					n.trace(EvEject, node, outPort-deg, 0, f.Worm, f.Seq)
-					n.flitsEjected++
-					rc := n.receivers[node]
-					rc.Accept(outPort-deg, f, n.cycle)
-					return
-				}
-				l := &n.links[id][outPort]
-				if !l.exists {
-					panic(fmt.Sprintf("network: transmit on missing link (%d,%d)", id, outPort))
-				}
-				if l.busy {
-					panic(fmt.Sprintf("network: link (%d,%d) double-booked", id, outPort))
-				}
-				l.busy = true
-				l.vc = outVC
-				l.f = f
-				l.flits++
-			},
-			func(inPort, inVC int) {
-				upNode, upPort := n.upstreamOf(node, inPort)
-				n.credits = append(n.credits, creditEvent{node: upNode, port: upPort, vc: inVC, n: 1})
-			},
-		)
+			}
+		}
+		return moved
 	}
+	moved := false
+	kept := n.activeR.ids[:0]
+	for _, id := range n.activeR.ids {
+		if n.transmitRouter(int(id)) {
+			moved = true
+		}
+		if n.routers[id].Busy() {
+			kept = append(kept, id)
+		} else {
+			n.activeR.drop(id)
+		}
+	}
+	n.activeR.ids = kept
+	return moved
+}
+
+// transmitRouter runs one router's switch-transmission, wiring its flit
+// movements into links, receivers, the busy-link worklist and the
+// deferred credit queue.
+func (n *Network) transmitRouter(id int) bool {
+	moved := false
+	r := n.routers[id]
+	node := topology.NodeID(id)
+	deg := r.Degree()
+	r.Transmit(
+		func(outPort, outVC int, f flit.Flit) {
+			moved = true
+			if outPort >= deg {
+				n.trace(EvEject, node, outPort-deg, 0, f.Worm, f.Seq)
+				n.flitsEjected++
+				if !n.recvMark[id] {
+					n.recvMark[id] = true
+					n.recvPend = append(n.recvPend, int32(id))
+				}
+				n.receivers[id].Accept(outPort-deg, f, n.cycle)
+				return
+			}
+			l := &n.links[id][outPort]
+			if !l.exists {
+				panic(fmt.Sprintf("network: transmit on missing link (%d,%d)", id, outPort))
+			}
+			if l.busy {
+				panic(fmt.Sprintf("network: link (%d,%d) double-booked", id, outPort))
+			}
+			l.busy = true
+			l.vc = outVC
+			l.f = f
+			l.flits++
+			n.busyLinks = append(n.busyLinks, linkRef{node: int32(id), port: int32(outPort)})
+		},
+		func(inPort, inVC int) {
+			upNode, upPort := n.upstreamOf(node, inPort)
+			n.credits = append(n.credits, creditEvent{node: upNode, port: upPort, vc: inVC, n: 1})
+		},
+	)
 	return moved
 }
 
@@ -283,23 +380,42 @@ func (n *Network) phaseFKills() {
 }
 
 // phaseCredits applies deferred credit refunds and collects deliveries.
+// Only receivers that accepted a flit this cycle can hold deliveries, so
+// only those (recvPend, in ascending node order by construction) are
+// drained.
 func (n *Network) phaseCredits() {
 	for _, c := range n.credits {
 		n.routers[c.node].CreditN(c.port, c.vc, c.n)
 	}
 	n.credits = n.credits[:0]
-	for id, rc := range n.receivers {
-		ds := rc.Drain()
-		if len(ds) == 0 {
-			continue
+	if n.bruteForce {
+		for _, id := range n.recvPend {
+			n.recvMark[id] = false
 		}
-		if n.tracer != nil {
-			for _, d := range ds {
-				n.trace(EvDeliver, topology.NodeID(id), 0, 0, d.Worm, -1)
-			}
+		n.recvPend = n.recvPend[:0]
+		for id, rc := range n.receivers {
+			n.drainReceiver(id, rc)
 		}
-		n.deliveries = append(n.deliveries, ds...)
+		return
 	}
+	for _, id := range n.recvPend {
+		n.recvMark[id] = false
+		n.drainReceiver(int(id), n.receivers[id])
+	}
+	n.recvPend = n.recvPend[:0]
+}
+
+func (n *Network) drainReceiver(id int, rc *core.Receiver) {
+	ds := rc.Drain()
+	if len(ds) == 0 {
+		return
+	}
+	if n.tracer != nil {
+		for _, d := range ds {
+			n.trace(EvDeliver, topology.NodeID(id), 0, 0, d.Worm, -1)
+		}
+	}
+	n.deliveries = append(n.deliveries, ds...)
 }
 
 // upstreamOf returns the node and output port feeding input port p of
@@ -341,6 +457,7 @@ func (n *Network) routeEmits(node topology.NodeID, emits []router.Emit) {
 		case router.EmitKillBwd:
 			if e.Port >= deg {
 				// Reached the source injection channel.
+				n.activateInjector(node)
 				n.injectors[node].FKilled(e.Worm, n.cycle)
 				continue
 			}

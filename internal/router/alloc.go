@@ -13,35 +13,33 @@ import (
 // channel for it. Corrupt headers (under VerifyHeaders) trigger a
 // backward tear-down whose emissions are appended to emits.
 func (r *Router) RouteAndAllocate(emits []Emit) []Emit {
-	for p := range r.inputs {
-		for vc := range r.inputs[p] {
-			v := r.inputs[p][vc]
-			if !v.active || v.routed || v.count == 0 {
-				continue
-			}
-			head := v.front()
-			if r.cfg.Check && head.Kind != flit.Head {
-				panic(fmt.Sprintf("router %d: unrouted VC (%d,%d) fronted by %v", r.id, p, vc, head))
-			}
-			if r.cfg.VerifyHeaders && !head.Verify() {
-				emits = r.tearCorruptHeader(p, vc, v, emits)
-				continue
-			}
-			var ok bool
-			if head.Dst == r.id {
-				ok = r.allocateEjection(p, vc, v)
-			} else {
-				ok = r.allocateNetwork(p, vc, v, head)
-			}
-			if ok {
-				v.blocked = 0
-				continue
-			}
-			r.stats.BlockedHeaders++
-			v.blocked++
-			if r.cfg.RouterTimeout > 0 && v.blocked >= r.cfg.RouterTimeout {
-				emits = r.tearBlockedWorm(p, vc, v, emits)
-			}
+	for i := range r.ins {
+		v := &r.ins[i]
+		if !v.active || v.routed || v.count == 0 {
+			continue
+		}
+		head := v.front()
+		if r.cfg.Check && head.Kind != flit.Head {
+			panic(fmt.Sprintf("router %d: unrouted VC (%d,%d) fronted by %v", r.id, v.p, v.vc, head))
+		}
+		if r.cfg.VerifyHeaders && !head.Verify() {
+			emits = r.tearCorruptHeader(v, emits)
+			continue
+		}
+		var ok bool
+		if head.Dst == r.id {
+			ok = r.allocateEjection(v)
+		} else {
+			ok = r.allocateNetwork(v, head)
+		}
+		if ok {
+			v.blocked = 0
+			continue
+		}
+		r.stats.BlockedHeaders++
+		v.blocked++
+		if r.cfg.RouterTimeout > 0 && v.blocked >= r.cfg.RouterTimeout {
+			emits = r.tearBlockedWorm(v, emits)
 		}
 	}
 	return emits
@@ -53,41 +51,41 @@ func (r *Router) RouteAndAllocate(emits []Emit) []Emit {
 // source-based scheme, the router cannot know whether the worm is
 // committed or merely slow — the source of the paper's "unnecessary
 // kills" observation.
-func (r *Router) tearBlockedWorm(p, vc int, v *inVC, emits []Emit) []Emit {
+func (r *Router) tearBlockedWorm(v *inVC, emits []Emit) []Emit {
 	r.stats.RouterKills++
 	worm := v.worm
-	if purged := r.purge(v); purged > 0 && p < r.deg {
-		emits = append(emits, Emit{Kind: EmitCredits, Port: p, VC: vc, Worm: worm, N: purged})
+	if purged := r.purge(v); purged > 0 && v.p < r.deg {
+		emits = append(emits, Emit{Kind: EmitCredits, Port: v.p, VC: v.vc, Worm: worm, N: purged})
 	}
-	emits = append(emits, Emit{Kind: EmitKillBwd, Port: p, VC: vc, Worm: worm})
+	emits = append(emits, Emit{Kind: EmitKillBwd, Port: v.p, VC: v.vc, Worm: worm})
 	releaseIn(v, worm)
 	return emits
 }
 
 // tearCorruptHeader handles FCR's per-hop header protection: the worm is
 // purged here and torn down backward to its source.
-func (r *Router) tearCorruptHeader(p, vc int, v *inVC, emits []Emit) []Emit {
+func (r *Router) tearCorruptHeader(v *inVC, emits []Emit) []Emit {
 	r.stats.HeaderFaults++
 	worm := v.worm
-	if purged := r.purge(v); purged > 0 && p < r.deg {
-		emits = append(emits, Emit{Kind: EmitCredits, Port: p, VC: vc, Worm: worm, N: purged})
+	if purged := r.purge(v); purged > 0 && v.p < r.deg {
+		emits = append(emits, Emit{Kind: EmitCredits, Port: v.p, VC: v.vc, Worm: worm, N: purged})
 	}
-	emits = append(emits, Emit{Kind: EmitKillBwd, Port: p, VC: vc, Worm: worm})
+	emits = append(emits, Emit{Kind: EmitKillBwd, Port: v.p, VC: v.vc, Worm: worm})
 	releaseIn(v, worm)
 	return emits
 }
 
 // allocateEjection claims a free ejection channel for a worm that has
 // reached its destination.
-func (r *Router) allocateEjection(p, vc int, v *inVC) bool {
-	for e := r.deg; e < len(r.outputs); e++ {
-		o := &r.outputs[e].vcs[0]
+func (r *Router) allocateEjection(v *inVC) bool {
+	for e := r.deg; e < len(r.outs); e++ {
+		o := &r.outs[e].vcs[0]
 		if o.held {
 			continue
 		}
 		o.held = true
 		o.worm = v.worm
-		o.ownerP, o.ownerV = p, vc
+		o.ownerP, o.ownerV = v.p, v.vc
 		v.routed = true
 		v.outP, v.outV = e, 0
 		r.stats.HeadersRouted++
@@ -100,12 +98,12 @@ func (r *Router) allocateEjection(p, vc int, v *inVC) bool {
 // the first free one, rotating among equally preferred (non-escape)
 // candidates for load spreading. Escape-channel allocations are counted
 // as potential deadlock situations (PDS).
-func (r *Router) allocateNetwork(p, vc int, v *inVC, head *flit.Flit) bool {
+func (r *Router) allocateNetwork(v *inVC, head *flit.Flit) bool {
 	inPort := topology.InvalidPort
 	inVCIdx := -1
-	if p < r.deg {
-		inPort = topology.Port(p)
-		inVCIdx = vc
+	if v.p < r.deg {
+		inPort = topology.Port(v.p)
+		inVCIdx = v.vc
 	}
 	allowMisroute := r.cfg.MisrouteAfter > 0 &&
 		head.Worm.Attempt() >= r.cfg.MisrouteAfter &&
@@ -118,7 +116,8 @@ func (r *Router) allocateNetwork(p, vc int, v *inVC, head *flit.Flit) bool {
 		InVC:          inVCIdx,
 		NumVCs:        r.cfg.VCs,
 		AllowMisroute: allowMisroute,
-		LinkUp:        func(port topology.Port) bool { return r.outputs[port].linkUp },
+		LinkUp:        r.linkUp,
+		PortBuf:       r.portBuf[:0],
 	}
 	r.candBuf = r.alg.Route(req, r.candBuf[:0])
 	if len(r.candBuf) == 0 {
@@ -135,13 +134,13 @@ func (r *Router) allocateNetwork(p, vc int, v *inVC, head *flit.Flit) bool {
 		}
 	}
 	if free > 0 {
-		return r.claim(p, vc, v, head, r.selectCandidate(r.candBuf[:free]))
+		return r.claim(v, head, r.selectCandidate(r.candBuf[:free]))
 	}
 	// Pass 2: escape candidates in preference order.
 	r.candBuf = r.alg.Route(req, r.candBuf[:0])
 	for _, c := range r.candBuf {
 		if c.Escape && r.candFree(c) {
-			return r.claim(p, vc, v, head, c)
+			return r.claim(v, head, c)
 		}
 	}
 	return false
@@ -172,8 +171,8 @@ func (r *Router) selectCandidate(free []routing.Candidate) routing.Candidate {
 // output port's virtual channels — its "drained-ness".
 func (r *Router) portCredit(p topology.Port) int {
 	total := 0
-	for vc := range r.outputs[p].vcs {
-		total += r.outputs[p].vcs[vc].credit
+	for vc := range r.outs[p].vcs {
+		total += r.outs[p].vcs[vc].credit
 	}
 	return total
 }
@@ -184,16 +183,16 @@ func (r *Router) portCredit(p topology.Port) int {
 // overlapping — the new head must not arrive while the previous worm's
 // tail is still buffered downstream.
 func (r *Router) candFree(c routing.Candidate) bool {
-	out := r.outputs[c.Port]
+	out := &r.outs[c.Port]
 	ov := &out.vcs[c.VC]
 	return out.linkUp && !ov.held && ov.credit == r.cfg.BufDepth
 }
 
-func (r *Router) claim(p, vc int, v *inVC, head *flit.Flit, c routing.Candidate) bool {
-	o := &r.outputs[c.Port].vcs[c.VC]
+func (r *Router) claim(v *inVC, head *flit.Flit, c routing.Candidate) bool {
+	o := &r.outs[c.Port].vcs[c.VC]
 	o.held = true
 	o.worm = v.worm
-	o.ownerP, o.ownerV = p, vc
+	o.ownerP, o.ownerV = v.p, v.vc
 	v.routed = true
 	v.outP, v.outV = int(c.Port), c.VC
 	r.stats.HeadersRouted++

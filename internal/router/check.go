@@ -13,39 +13,44 @@ import "fmt"
 //     worm, and points back at the output
 //   - every routed input VC's allocated output VC is held by its worm
 //   - inactive input VCs hold no flits and no allocation
+//   - the cached buffered-flit counter matches the sum over input VCs
 func (r *Router) CheckInvariants() error {
-	for p := range r.inputs {
-		for vc, v := range r.inputs[p] {
-			if v.count < 0 || v.count > r.cfg.BufDepth {
-				return fmt.Errorf("router %d: input (%d,%d) occupancy %d", r.id, p, vc, v.count)
-			}
-			if !v.active {
-				if v.count != 0 {
-					return fmt.Errorf("router %d: inactive input (%d,%d) holds %d flits", r.id, p, vc, v.count)
-				}
-				if v.routed {
-					return fmt.Errorf("router %d: inactive input (%d,%d) holds an allocation", r.id, p, vc)
-				}
-				continue
+	total := 0
+	for i := range r.ins {
+		v := &r.ins[i]
+		total += v.count
+		if v.count < 0 || v.count > r.cfg.BufDepth {
+			return fmt.Errorf("router %d: input (%d,%d) occupancy %d", r.id, v.p, v.vc, v.count)
+		}
+		if !v.active {
+			if v.count != 0 {
+				return fmt.Errorf("router %d: inactive input (%d,%d) holds %d flits", r.id, v.p, v.vc, v.count)
 			}
 			if v.routed {
-				o := &r.outputs[v.outP].vcs[v.outV]
-				if !o.held || o.worm != v.worm || o.ownerP != p || o.ownerV != vc {
-					return fmt.Errorf("router %d: input (%d,%d) allocation to (%d,%d) inconsistent",
-						r.id, p, vc, v.outP, v.outV)
-				}
+				return fmt.Errorf("router %d: inactive input (%d,%d) holds an allocation", r.id, v.p, v.vc)
+			}
+			continue
+		}
+		if v.routed {
+			o := &r.outs[v.outP].vcs[v.outV]
+			if !o.held || o.worm != v.worm || o.ownerP != v.p || o.ownerV != v.vc {
+				return fmt.Errorf("router %d: input (%d,%d) allocation to (%d,%d) inconsistent",
+					r.id, v.p, v.vc, v.outP, v.outV)
 			}
 		}
 	}
-	for p := range r.outputs {
-		out := r.outputs[p]
+	if total != r.buffered {
+		return fmt.Errorf("router %d: buffered counter %d, actual %d", r.id, r.buffered, total)
+	}
+	for p := range r.outs {
+		out := &r.outs[p]
 		for vc := range out.vcs {
 			o := &out.vcs[vc]
 			if !out.ejection && (o.credit < 0 || o.credit > r.cfg.BufDepth) {
 				return fmt.Errorf("router %d: output (%d,%d) credit %d", r.id, p, vc, o.credit)
 			}
 			if o.held {
-				v := r.inputs[o.ownerP][o.ownerV]
+				v := r.in(o.ownerP, o.ownerV)
 				if !v.active || v.worm != o.worm || !v.routed || v.outP != p || v.outV != vc {
 					return fmt.Errorf("router %d: output (%d,%d) owner (%d,%d) inconsistent",
 						r.id, p, vc, o.ownerP, o.ownerV)
@@ -58,35 +63,26 @@ func (r *Router) CheckInvariants() error {
 
 // CreditOf returns the credit count of output (p, vc); used by
 // network-level conservation checks.
-func (r *Router) CreditOf(p, vc int) int { return r.outputs[p].vcs[vc].credit }
+func (r *Router) CreditOf(p, vc int) int { return r.outs[p].vcs[vc].credit }
 
 // BufferedAt returns the buffered flit count of input (p, vc); used by
 // network-level conservation checks.
-func (r *Router) BufferedAt(p, vc int) int { return r.inputs[p][vc].count }
+func (r *Router) BufferedAt(p, vc int) int { return r.in(p, vc).count }
 
 // InputActive reports whether input (p, vc) hosts a worm.
-func (r *Router) InputActive(p, vc int) bool { return r.inputs[p][vc].active }
+func (r *Router) InputActive(p, vc int) bool { return r.in(p, vc).active }
 
 // BufferedFlits returns the total number of flits buffered in the
-// router, for network-level conservation checks.
-func (r *Router) BufferedFlits() int {
-	n := 0
-	for p := range r.inputs {
-		for _, v := range r.inputs[p] {
-			n += v.count
-		}
-	}
-	return n
-}
+// router, for network-level conservation checks. The count is maintained
+// incrementally (CheckInvariants verifies it against the per-VC sums).
+func (r *Router) BufferedFlits() int { return r.buffered }
 
 // ActiveWormCount returns how many input VCs currently host a worm.
 func (r *Router) ActiveWormCount() int {
 	n := 0
-	for p := range r.inputs {
-		for _, v := range r.inputs[p] {
-			if v.active {
-				n++
-			}
+	for i := range r.ins {
+		if r.ins[i].active {
+			n++
 		}
 	}
 	return n

@@ -16,6 +16,18 @@
 //  4. Transmit — each output physical channel forwards at most one flit,
 //     consuming a downstream credit; dequeues emit credits upstream.
 //
+// Layout: all virtual-channel state lives in flat, index-addressed
+// slices — one contiguous []inVC for every input VC (network ports
+// first, injection channels after), one contiguous []outVC behind the
+// per-port output views, and a single flit-buffer arena that every
+// input VC's FIFO is a window into. Construction performs the only
+// allocations; the steady state allocates nothing.
+//
+// Activity: Busy reports whether any flit is buffered here. A router
+// with no buffered flits has nothing to do in RouteAndAllocate or
+// Transmit (both act only on occupied input VCs), which is what lets
+// the network's cycle engine skip quiescent routers entirely.
+//
 // Determinism: all iteration is in fixed port/VC order and arbitration
 // state advances deterministically, so identical inputs give identical
 // simulations.
@@ -118,11 +130,16 @@ func (c Config) validate() error {
 }
 
 // inVC is the state of one input virtual channel: a FIFO of flits plus
-// the worm claim and output allocation.
+// the worm claim and output allocation. The FIFO storage (buf) is a
+// window into the router's shared flit arena; p/vc record the VC's own
+// address so flat iteration needs no index arithmetic.
 type inVC struct {
-	buf   []flit.Flit // circular buffer of cap BufDepth
+	buf   []flit.Flit // circular buffer of cap BufDepth (arena window)
 	head  int
 	count int
+
+	p  int // input port this VC belongs to
+	vc int // VC index within the port
 
 	active bool // a worm has claimed this VC (head arrived, tail not yet passed)
 	worm   flit.WormID
@@ -172,7 +189,7 @@ type outVC struct {
 }
 
 // output is one output physical channel with its VCs and arbitration
-// pointer.
+// pointer. vcs is a window into the router's shared outVC arena.
 type output struct {
 	vcs    []outVC
 	rr     int // round-robin pointer over flattened input VC indices
@@ -224,8 +241,21 @@ type Router struct {
 	cfg  Config
 	deg  int
 
-	inputs  [][]*inVC // [port][vc]; injection ports have a single VC
-	outputs []*output
+	// ins holds every input VC flat: network ports' VCs first
+	// (port-major: port p's VCs occupy ins[p*VCs : (p+1)*VCs]), then one
+	// single-VC entry per injection channel. The slice is never
+	// reallocated, so *inVC pointers into it stay valid for the router's
+	// lifetime.
+	ins   []inVC
+	arena []flit.Flit // backing storage for every input VC's FIFO
+
+	outs     []output // per output port; vcs window into outArena
+	outArena []outVC
+
+	// buffered is the total flit count across all input VCs, maintained
+	// incrementally; Busy() == (buffered > 0) is the activity signal the
+	// network's scheduler keys on.
+	buffered int
 
 	allocRR int // rotation for adaptive candidate selection
 	stats   Stats
@@ -236,7 +266,8 @@ type Router struct {
 	maxHopsWorm flit.WormID
 
 	candBuf []routing.Candidate
-	inRefs  []inRef // flattened input VC list for switch arbitration
+	portBuf []topology.Port // scratch handed to routing via Request.PortBuf
+	linkUp  func(topology.Port) bool
 }
 
 // New constructs a router for node id of topo using the routing
@@ -251,26 +282,30 @@ func New(id topology.NodeID, topo topology.Topology, alg routing.Algorithm, cfg 
 	}
 	deg := topo.Degree()
 	r := &Router{id: id, topo: topo, alg: alg, cfg: cfg, deg: deg}
-	r.inputs = make([][]*inVC, deg+cfg.InjectionChannels)
-	for p := range r.inputs {
-		n := cfg.VCs
-		if p >= deg {
-			n = 1 // injection ports carry one worm at a time
+	nIn := deg*cfg.VCs + cfg.InjectionChannels
+	r.ins = make([]inVC, nIn)
+	r.arena = make([]flit.Flit, nIn*cfg.BufDepth)
+	for i := range r.ins {
+		v := &r.ins[i]
+		v.buf = r.arena[i*cfg.BufDepth : (i+1)*cfg.BufDepth]
+		if i < deg*cfg.VCs {
+			v.p, v.vc = i/cfg.VCs, i%cfg.VCs
+		} else {
+			v.p, v.vc = deg+(i-deg*cfg.VCs), 0
 		}
-		vcs := make([]*inVC, n)
-		for v := range vcs {
-			vcs[v] = &inVC{buf: make([]flit.Flit, cfg.BufDepth), outP: -1, outV: -1}
-		}
-		r.inputs[p] = vcs
+		v.outP, v.outV = -1, -1
 	}
-	r.outputs = make([]*output, deg+cfg.EjectionChannels)
-	for p := range r.outputs {
-		o := &output{linkUp: true}
+	r.outs = make([]output, deg+cfg.EjectionChannels)
+	r.outArena = make([]outVC, deg*cfg.VCs+cfg.EjectionChannels)
+	for p := range r.outs {
+		o := &r.outs[p]
+		o.linkUp = true
 		if p >= deg {
 			o.ejection = true
-			o.vcs = []outVC{{credit: 1 << 30}}
+			o.vcs = r.outArena[deg*cfg.VCs+(p-deg) : deg*cfg.VCs+(p-deg)+1]
+			o.vcs[0] = outVC{credit: 1 << 30}
 		} else {
-			o.vcs = make([]outVC, cfg.VCs)
+			o.vcs = r.outArena[p*cfg.VCs : (p+1)*cfg.VCs]
 			for v := range o.vcs {
 				o.vcs[v].credit = cfg.BufDepth
 			}
@@ -278,9 +313,62 @@ func New(id topology.NodeID, topo topology.Topology, alg routing.Algorithm, cfg 
 				o.linkUp = false // unconnected mesh edge
 			}
 		}
-		r.outputs[p] = o
 	}
+	r.portBuf = make([]topology.Port, 0, deg)
+	r.linkUp = func(port topology.Port) bool { return r.outs[port].linkUp }
 	return r
+}
+
+// in returns input VC (p, vc). Network ports hold cfg.VCs channels;
+// injection ports (p >= deg) hold one.
+func (r *Router) in(p, vc int) *inVC {
+	if p < r.deg {
+		return &r.ins[p*r.cfg.VCs+vc]
+	}
+	return &r.ins[r.deg*r.cfg.VCs+(p-r.deg)]
+}
+
+// numVCs returns how many virtual channels input port p carries.
+func (r *Router) numVCs(p int) int {
+	if p < r.deg {
+		return r.cfg.VCs
+	}
+	return 1
+}
+
+// Reset returns the router to its as-constructed state — empty buffers,
+// full credits, live links recomputed from the topology, zeroed
+// counters and arbitration pointers — without allocating. Network.Reset
+// uses it to reuse a network across runs.
+func (r *Router) Reset() {
+	for i := range r.ins {
+		v := &r.ins[i]
+		v.head, v.count = 0, 0
+		v.active, v.routed = false, false
+		v.worm = 0
+		v.outP, v.outV = -1, -1
+		v.purgeWorm, v.purgeValid = 0, false
+		v.blocked = 0
+	}
+	for p := range r.outs {
+		o := &r.outs[p]
+		o.rr = 0
+		if o.ejection {
+			o.linkUp = true
+			o.vcs[0] = outVC{credit: 1 << 30}
+			continue
+		}
+		_, connected := r.topo.Neighbor(r.id, topology.Port(p))
+		o.linkUp = connected
+		for vc := range o.vcs {
+			o.vcs[vc] = outVC{credit: r.cfg.BufDepth}
+		}
+	}
+	r.buffered = 0
+	r.allocRR = 0
+	r.stats = Stats{}
+	r.maxHops = 0
+	r.maxHopsWorm = 0
 }
 
 // ID returns the router's node id.
@@ -292,6 +380,12 @@ func (r *Router) Stats() Stats { return r.stats }
 // Degree returns the number of network ports.
 func (r *Router) Degree() int { return r.deg }
 
+// Busy reports whether any flit is buffered in the router. A non-busy
+// router does nothing in RouteAndAllocate or Transmit (both act only on
+// occupied input VCs), so the network's cycle engine may skip it until
+// a flit arrives or is injected.
+func (r *Router) Busy() bool { return r.buffered > 0 }
+
 // InjPort returns the input port index of injection channel ch.
 func (r *Router) InjPort(ch int) int { return r.deg + ch }
 
@@ -302,19 +396,19 @@ func (r *Router) EjPort(ch int) int { return r.deg + ch }
 func (r *Router) IsEjection(p int) bool { return p >= r.deg }
 
 // LinkUp reports whether the outgoing link on network port p is alive.
-func (r *Router) LinkUp(p int) bool { return r.outputs[p].linkUp }
+func (r *Router) LinkUp(p int) bool { return r.outs[p].linkUp }
 
 // SetLinkDown marks the outgoing link on network port p dead. Worm
 // tear-down for the link's victims is driven by the network via
 // HeldWorms/ActiveWorms and ApplySignal.
-func (r *Router) SetLinkDown(p int) { r.outputs[p].linkUp = false }
+func (r *Router) SetLinkDown(p int) { r.outs[p].linkUp = false }
 
 // SetLinkUp restores the outgoing link on network port p after a repair:
 // the link comes back with no holders and a fully drained downstream
 // buffer (the network resets the downstream input side in the same
 // event), so every virtual channel is immediately claimable.
 func (r *Router) SetLinkUp(p int) {
-	out := r.outputs[p]
+	out := &r.outs[p]
 	out.linkUp = true
 	for vc := range out.vcs {
 		o := &out.vcs[vc]
@@ -329,8 +423,8 @@ func (r *Router) SetLinkUp(p int) {
 // (the network sweeps ActiveWorms before calling this); buffered flits
 // of live worms would be a protocol violation.
 func (r *Router) ResetInput(p int) {
-	for vc := range r.inputs[p] {
-		v := r.inputs[p][vc]
+	for vc := 0; vc < r.numVCs(p); vc++ {
+		v := r.in(p, vc)
 		if v.active || v.count > 0 {
 			panic(fmt.Sprintf("router %d: ResetInput(%d) with live worm %d (%d flits)", r.id, p, v.worm, v.count))
 		}
@@ -347,14 +441,14 @@ func (r *Router) MaxHops() (int, flit.WormID) { return r.maxHops, r.maxHopsWorm 
 
 // InjectionFree returns the free buffer slots of injection channel ch.
 func (r *Router) InjectionFree(ch int) int {
-	v := r.inputs[r.InjPort(ch)][0]
+	v := r.in(r.InjPort(ch), 0)
 	return r.cfg.BufDepth - v.count
 }
 
 // InjectionReady reports whether injection channel ch is idle and empty,
 // so a new worm's head flit may be injected.
 func (r *Router) InjectionReady(ch int) bool {
-	v := r.inputs[r.InjPort(ch)][0]
+	v := r.in(r.InjPort(ch), 0)
 	return !v.active && v.count == 0
 }
 
@@ -362,7 +456,7 @@ func (r *Router) InjectionReady(ch int) bool {
 // (the NIC injector) must have checked InjectionFree. A head flit claims
 // the channel for its worm.
 func (r *Router) Inject(ch int, f flit.Flit) {
-	v := r.inputs[r.InjPort(ch)][0]
+	v := r.in(r.InjPort(ch), 0)
 	if f.Kind == flit.Head {
 		if v.active {
 			panic(fmt.Sprintf("router %d: injected head into busy channel %d", r.id, ch))
@@ -375,6 +469,7 @@ func (r *Router) Inject(ch int, f flit.Flit) {
 		panic(fmt.Sprintf("router %d: injected body flit of worm %d into channel owned by %d", r.id, f.Worm, v.worm))
 	}
 	v.push(f)
+	r.buffered++
 }
 
 // AcceptFlit delivers a flit arriving over the incoming link of network
@@ -382,7 +477,7 @@ func (r *Router) Inject(ch int, f flit.Flit) {
 // absorbed as a tear-down straggler (the network then refunds the
 // upstream credit as if the flit had been consumed).
 func (r *Router) AcceptFlit(p, vc int, f flit.Flit) bool {
-	v := r.inputs[p][vc]
+	v := r.in(p, vc)
 	if v.purgeValid && v.purgeWorm == f.Worm {
 		r.stats.Stragglers++
 		return true
@@ -401,5 +496,6 @@ func (r *Router) AcceptFlit(p, vc int, f flit.Flit) bool {
 		panic(fmt.Sprintf("router %d: body flit %v arrived on VC (%d,%d) not owned by its worm", r.id, f, p, vc))
 	}
 	v.push(f)
+	r.buffered++
 	return false
 }

@@ -141,11 +141,9 @@ func TestCreditsBlockTransmission(t *testing.T) {
 // vcOf returns the VC the single active worm allocated on its output.
 func vcOf(t *testing.T, r *Router) int {
 	t.Helper()
-	for p := range r.inputs {
-		for _, v := range r.inputs[p] {
-			if v.active && v.routed {
-				return v.outV
-			}
+	for i := range r.ins {
+		if v := &r.ins[i]; v.active && v.routed {
+			return v.outV
 		}
 	}
 	t.Fatal("no routed worm")
@@ -286,9 +284,9 @@ func TestBackwardKillTearsOwnerAndPropagates(t *testing.T) {
 
 func heldOutput(t *testing.T, r *Router) (int, int) {
 	t.Helper()
-	for p := range r.outputs {
-		for vc := range r.outputs[p].vcs {
-			if r.outputs[p].vcs[vc].held {
+	for p := range r.outs {
+		for vc := range r.outs[p].vcs {
+			if r.outs[p].vcs[vc].held {
 				return p, vc
 			}
 		}

@@ -70,6 +70,7 @@ func (r *Router) purge(v *inVC) int {
 	n := v.count
 	v.head = 0
 	v.count = 0
+	r.buffered -= n
 	r.stats.PurgedFlits += int64(n)
 	return n
 }
@@ -99,7 +100,7 @@ func (r *Router) ApplySignal(s Signal, emits []Emit) []Emit {
 }
 
 func (r *Router) applyKillFwd(s Signal, emits []Emit) []Emit {
-	v := r.inputs[s.Port][s.VC]
+	v := r.in(s.Port, s.VC)
 	if !v.active || v.worm != s.Worm {
 		// The worm is already gone (e.g. torn down by a dead-link sweep
 		// racing the kill). Arm the absorber and drop the signal.
@@ -113,7 +114,7 @@ func (r *Router) applyKillFwd(s Signal, emits []Emit) []Emit {
 		emits = append(emits, Emit{Kind: EmitCredits, Port: s.Port, VC: s.VC, Worm: s.Worm, N: purged})
 	}
 	if v.routed {
-		o := &r.outputs[v.outP].vcs[v.outV]
+		o := &r.outs[v.outP].vcs[v.outV]
 		if r.cfg.Check && (!o.held || o.worm != s.Worm) {
 			panic(fmt.Sprintf("router %d: forward kill found inconsistent allocation", r.id))
 		}
@@ -125,7 +126,7 @@ func (r *Router) applyKillFwd(s Signal, emits []Emit) []Emit {
 }
 
 func (r *Router) applyKillBwd(s Signal, emits []Emit) []Emit {
-	o := &r.outputs[s.Port].vcs[s.VC]
+	o := &r.outs[s.Port].vcs[s.VC]
 	if !o.held || o.worm != s.Worm {
 		// The worm's tail already passed here (possible only if the
 		// protocol's padding bound was violated) or the worm was torn
@@ -134,7 +135,7 @@ func (r *Router) applyKillBwd(s Signal, emits []Emit) []Emit {
 		return emits
 	}
 	r.stats.KillsBwd++
-	v := r.inputs[o.ownerP][o.ownerV]
+	v := r.in(o.ownerP, o.ownerV)
 	if r.cfg.Check && (!v.active || v.worm != s.Worm) {
 		panic(fmt.Sprintf("router %d: backward kill found inconsistent ownership", r.id))
 	}
@@ -157,8 +158,8 @@ type WormAt struct {
 // port p. When the link on p dies, the network tears each down backward
 // (KillBwd at this router) so their sources retransmit on another path.
 func (r *Router) HeldWorms(p int, buf []WormAt) []WormAt {
-	for vc := range r.outputs[p].vcs {
-		o := &r.outputs[p].vcs[vc]
+	for vc := range r.outs[p].vcs {
+		o := &r.outs[p].vcs[vc]
 		if o.held {
 			buf = append(buf, WormAt{VC: vc, Worm: o.worm})
 		}
@@ -171,8 +172,8 @@ func (r *Router) HeldWorms(p int, buf []WormAt) []WormAt {
 // down forward (KillFwd at this router) to reclaim the orphaned
 // downstream fragment.
 func (r *Router) ActiveWorms(p int, buf []WormAt) []WormAt {
-	for vc := range r.inputs[p] {
-		v := r.inputs[p][vc]
+	for vc := 0; vc < r.numVCs(p); vc++ {
+		v := r.in(p, vc)
 		if v.active {
 			buf = append(buf, WormAt{VC: vc, Worm: v.worm})
 		}
@@ -196,12 +197,10 @@ type BlockedWorm struct {
 // not yet reached the buffer front, are progressing by definition and
 // are not reported.
 func (r *Router) BlockedWorms(min int, buf []BlockedWorm) []BlockedWorm {
-	for p := range r.inputs {
-		for vc := range r.inputs[p] {
-			v := r.inputs[p][vc]
-			if v.active && !v.routed && v.blocked >= min {
-				buf = append(buf, BlockedWorm{Port: p, VC: vc, Worm: v.worm, Blocked: v.blocked})
-			}
+	for i := range r.ins {
+		v := &r.ins[i]
+		if v.active && !v.routed && v.blocked >= min {
+			buf = append(buf, BlockedWorm{Port: v.p, VC: v.vc, Worm: v.worm, Blocked: v.blocked})
 		}
 	}
 	return buf
@@ -209,9 +208,9 @@ func (r *Router) BlockedWorms(min int, buf []BlockedWorm) []BlockedWorm {
 
 // Credit refunds one downstream buffer credit to output port p, VC vc.
 func (r *Router) Credit(p, vc int) {
-	o := &r.outputs[p].vcs[vc]
+	o := &r.outs[p].vcs[vc]
 	o.credit++
-	if r.cfg.Check && !r.outputs[p].ejection && o.credit > r.cfg.BufDepth {
+	if r.cfg.Check && !r.outs[p].ejection && o.credit > r.cfg.BufDepth {
 		panic(fmt.Sprintf("router %d: credit overflow on output (%d,%d)", r.id, p, vc))
 	}
 }

@@ -6,23 +6,12 @@ import (
 	"crnet/internal/flit"
 )
 
-// inRef locates one input virtual channel for arbitration.
-type inRef struct {
-	p, vc int
-	v     *inVC
-}
-
-// allInputs returns (building lazily) the flattened input VC list used
-// by switch arbitration.
-func (r *Router) allInputs() []inRef {
-	if r.inRefs == nil {
-		for p := range r.inputs {
-			for vc := range r.inputs[p] {
-				r.inRefs = append(r.inRefs, inRef{p: p, vc: vc, v: r.inputs[p][vc]})
-			}
-		}
+// inIndex returns input VC (p, vc)'s index in the flat ins slice.
+func (r *Router) inIndex(p, vc int) int {
+	if p < r.deg {
+		return p*r.cfg.VCs + vc
 	}
-	return r.inRefs
+	return r.deg*r.cfg.VCs + (p - r.deg)
 }
 
 // Transmit forwards at most one flit per output channel. For each flit
@@ -31,46 +20,68 @@ func (r *Router) allInputs() []inRef {
 // and creditFlit is called with the input port/VC it left (the network
 // refunds the upstream credit; injection ports are skipped since the
 // injector reads buffer occupancy directly).
+//
+// Switch arbitration round-robins each output's pointer over the flat
+// input-VC index space. Candidates are found through the output VCs'
+// owner back-pointers rather than by scanning the inputs: every input
+// with a flit for this output holds one of its VCs (a checked
+// invariant), so the held VCs enumerate exactly the competitors, and
+// the winner is the one whose input index comes first in round-robin
+// order from rr — the same input a linear scan from rr would find.
 func (r *Router) Transmit(moveFlit func(outPort, outVC int, f flit.Flit), creditFlit func(inPort, inVC int)) {
-	refs := r.allInputs()
-	for op := range r.outputs {
-		out := r.outputs[op]
+	n := len(r.ins)
+	for op := range r.outs {
+		out := &r.outs[op]
 		if !out.ejection && !out.linkUp {
 			continue // dead or unconnected link transmits nothing
 		}
-		n := len(refs)
-		for i := 0; i < n; i++ {
-			ref := refs[(out.rr+i)%n]
-			v := ref.v
-			if !v.active || !v.routed || v.outP != op || v.count == 0 {
+		win, winKey := -1, n
+		var winV *inVC
+		for ovi := range out.vcs {
+			ov := &out.vcs[ovi]
+			if !ov.held {
 				continue
 			}
-			ov := &out.vcs[v.outV]
 			if !out.ejection && ov.credit == 0 {
 				continue
 			}
-			// Winner: move one flit.
-			out.rr = (out.rr + i + 1) % n
-			f := v.pop()
-			if !out.ejection {
-				ov.credit--
+			v := r.in(ov.ownerP, ov.ownerV)
+			if v.count == 0 {
+				continue
 			}
-			r.stats.FlitsMoved++
-			outVC := v.outV
-			if f.Tail {
-				if r.cfg.Check && (!ov.held || ov.worm != f.Worm) {
-					panic(fmt.Sprintf("router %d: tail of worm %d leaving unheld output", r.id, f.Worm))
-				}
-				ov.held = false
-				v.active = false
-				v.routed = false
-				v.outP, v.outV = -1, -1
+			key := r.inIndex(ov.ownerP, ov.ownerV) - out.rr
+			if key < 0 {
+				key += n
 			}
-			if ref.p < r.deg {
-				creditFlit(ref.p, ref.vc)
+			if key < winKey {
+				win, winKey, winV = ovi, key, v
 			}
-			moveFlit(op, outVC, f)
-			break
 		}
+		if win < 0 {
+			continue
+		}
+		// Winner: move one flit.
+		v := winV
+		ov := &out.vcs[win]
+		out.rr = (out.rr + winKey + 1) % n
+		f := v.pop()
+		r.buffered--
+		if !out.ejection {
+			ov.credit--
+		}
+		r.stats.FlitsMoved++
+		if f.Tail {
+			if r.cfg.Check && ov.worm != f.Worm {
+				panic(fmt.Sprintf("router %d: tail of worm %d leaving unheld output", r.id, f.Worm))
+			}
+			ov.held = false
+			v.active = false
+			v.routed = false
+			v.outP, v.outV = -1, -1
+		}
+		if v.p < r.deg {
+			creditFlit(v.p, v.vc)
+		}
+		moveFlit(op, win, f)
 	}
 }

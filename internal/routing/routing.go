@@ -64,6 +64,19 @@ type Request struct {
 	// LinkUp reports whether the outgoing link of Cur on a port is
 	// operational. A nil LinkUp means all links are up.
 	LinkUp func(topology.Port) bool
+
+	// PortBuf is optional caller-provided scratch for MinimalPorts calls.
+	// Routers pass a per-router buffer so steady-state routing does not
+	// allocate; a nil PortBuf makes the algorithm allocate its own.
+	PortBuf []topology.Port
+}
+
+// portScratch returns the scratch slice for MinimalPorts, length 0.
+func (r Request) portScratch() []topology.Port {
+	if r.PortBuf != nil {
+		return r.PortBuf[:0]
+	}
+	return make([]topology.Port, 0, 8)
 }
 
 func (r Request) linkUp(p topology.Port) bool {
@@ -229,8 +242,7 @@ func (MinimalAdaptive) MinVCs(topology.Topology) int { return 1 }
 
 // Route implements Algorithm.
 func (MinimalAdaptive) Route(req Request, buf []Candidate) []Candidate {
-	var ports [32]topology.Port
-	minimal := req.Topo.MinimalPorts(req.Cur, req.Dst, ports[:0])
+	minimal := req.Topo.MinimalPorts(req.Cur, req.Dst, req.portScratch())
 	anyLive := false
 	for _, p := range minimal {
 		if !req.linkUp(p) {
@@ -313,8 +325,7 @@ func (du Duato) Route(req Request, buf []Candidate) []Candidate {
 	}
 	inEscape := req.InVC >= 0 && InEscapeClass(req.InVC) && req.InPort != topology.InvalidPort
 	if !inEscape {
-		var ports [32]topology.Port
-		minimal := g.MinimalPorts(req.Cur, req.Dst, ports[:0])
+		minimal := g.MinimalPorts(req.Cur, req.Dst, req.portScratch())
 		for _, p := range minimal {
 			if !req.linkUp(p) {
 				continue

@@ -214,7 +214,7 @@ func buildSampler(net *network.Network, cfg Config) *obs.Sampler {
 	// first and caches the per-VC scan for the occupancy_vc gauges.
 	var occ []int64
 	reg.Gauge("occupancy_total", func() float64 {
-		occ = net.OccupancyPerVC()
+		occ = net.OccupancyPerVCInto(occ)
 		var t int64
 		for _, v := range occ {
 			t += v
@@ -264,7 +264,6 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 	var dog *invariant.Watchdog
 	if cfg.Watchdog != nil {
 		dog = invariant.New(*cfg.Watchdog)
-		net.SetMonitor(dog)
 	}
 	topo := net.Topology()
 	pattern, err := traffic.ByName(cfg.Pattern, topo)
@@ -279,10 +278,19 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 	var lat stats.Welford
 	var s0, s1 snapshot
 
+	// The watchdog and the sampler attach through the kernel's single
+	// hook seam: Monitor fires after each cycle's phases, Observer after
+	// the clock advances (so polled gauges see the post-step state).
 	var sampler *obs.Sampler
+	var hooks network.Hooks
+	if dog != nil {
+		hooks.Monitor = dog
+	}
 	if cfg.SampleEvery > 0 {
 		sampler = buildSampler(net, cfg)
+		hooks.Observer = sampler.Tick
 	}
+	net.SetHooks(hooks)
 
 	measureStart := cfg.WarmupCycles
 	measureEnd := cfg.WarmupCycles + cfg.MeasureCycles
@@ -309,9 +317,6 @@ loop:
 			}
 		}
 		net.Step()
-		if sampler != nil {
-			sampler.Tick(cycle)
-		}
 		for _, d := range net.DrainDeliveries() {
 			created, ok := window[d.Msg]
 			if !ok {
