@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race race-harness chaos bench bench-kernel alloc-gate results profile
+.PHONY: verify build test vet lint staticcheck race race-harness chaos bench bench-kernel alloc-gate results profile
 
-# Tier-1: build + tests, then vet, then the cycle-kernel allocation
-# gate, then the worker pool's determinism test under the race detector
-# (fast, targeted), then the chaos soak.
-verify: build test vet alloc-gate race-harness chaos
+# Tier-1: build + tests, then vet, then the custom static-invariant
+# suite, then the cycle-kernel allocation gate, then the worker pool's
+# determinism test under the race detector (fast, targeted), then the
+# chaos soak.
+verify: build test vet lint alloc-gate race-harness chaos
 
 build:
 	$(GO) build ./...
@@ -18,6 +19,28 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzers (internal/analysis via cmd/crlint): map-range
+# determinism, wall-clock purity, seed-derivation discipline and
+# hot-path allocation freedom. Must be clean at merge; justify real
+# escapes with //cr: annotations instead of weakening the analyzers.
+# The same binary also works as `go vet -vettool` (see DESIGN.md §6).
+lint:
+	$(GO) run ./cmd/crlint ./...
+
+# Optional deep lint: staticcheck, version-pinned so results are
+# reproducible. Gated on tool availability: the CI/dev container may be
+# offline with an empty module cache (no x/tools), in which case the
+# target skips with a note instead of failing — `make lint`'s custom
+# analyzers remain the hard merge gate either way. When the probe
+# succeeds, staticcheck findings do fail the target.
+STATICCHECK_VERSION ?= v0.4.7
+staticcheck:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./... ; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline module cache); skipped — make lint still gates"; \
+	fi
 
 # Full race sweep across every package (slow: includes the network soak
 # tests).

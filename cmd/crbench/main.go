@@ -95,7 +95,11 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+// run returns the process exit code through a named result so the
+// deferred profile/trace finalizers can flip a clean run red when a
+// profile fails to flush or close — a truncated profile silently
+// poisons any perf comparison built on it.
+func run() (code int) {
 	var (
 		expID    = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
 		chaos    = flag.Bool("chaos", false, "run the chaos/robustness experiments (E22-E24); overrides -exp")
@@ -149,12 +153,18 @@ func run() int {
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintf(os.Stderr, "crbench: starting CPU profile: %v\n", err)
 			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "crbench: closing CPU profile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
 		}()
 	}
 	if *traceOut != "" {
@@ -164,26 +174,42 @@ func run() int {
 			return 1
 		}
 		if err := trace.Start(f); err != nil {
+			f.Close()
 			fmt.Fprintf(os.Stderr, "crbench: starting trace: %v\n", err)
 			return 1
 		}
 		defer func() {
 			trace.Stop()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "crbench: closing trace: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
 		}()
 	}
 	if *memProf != "" {
 		defer func() {
+			fail := func(err error) {
+				fmt.Fprintf(os.Stderr, "crbench: heap profile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+				fail(err)
 				return
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "crbench: writing heap profile: %v\n", err)
+				f.Close()
+				fail(err)
+				return
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
 		}()
 	}
 

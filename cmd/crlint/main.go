@@ -1,0 +1,125 @@
+// Command crlint is the repo's static invariant gate: a multichecker
+// for the custom analyzers under internal/analysis that enforce the
+// simulator's determinism (detmap), cycle-time purity (wallclock),
+// seed-derivation discipline (rngsource) and hot-path allocation
+// freedom (hotalloc). See DESIGN.md §6 for why these are load-bearing.
+//
+// Standalone:
+//
+//	go run ./cmd/crlint ./...        # lint the module (make lint does this)
+//	crlint ./internal/network/...    # lint a subtree
+//
+// As a vet tool (the same binary speaks the `go vet -vettool`
+// unitchecker protocol: the -V=full/-flags handshake plus *.cfg
+// package units):
+//
+//	go build -o crlint ./cmd/crlint
+//	go vet -vettool=$(pwd)/crlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error (standalone);
+// under -vettool, findings print to stderr and exit 2, matching
+// x/tools' unitchecker.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"crnet/internal/analysis"
+	"crnet/internal/analysis/detmap"
+	"crnet/internal/analysis/hotalloc"
+	"crnet/internal/analysis/rngsource"
+	"crnet/internal/analysis/wallclock"
+)
+
+// analyzers is the suite crlint runs; keep cmd/crlint/main_test.go's
+// clean-repo gate in sync with DESIGN.md §6 when extending it.
+var analyzers = []*analysis.Analyzer{
+	detmap.Analyzer,
+	wallclock.Analyzer,
+	rngsource.Analyzer,
+	hotalloc.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// run dispatches between the vet-tool handshake, vet config units and
+// the standalone package-pattern mode. dir anchors relative patterns so
+// tests can point run at the module root.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	// `go vet` handshake: -V=full must print a stable fingerprint line
+	// (the content ID go caches vet results under), -flags the JSON
+	// list of tool flags (none beyond the standard ones).
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Fprintf(stdout, "crlint version devel buildID=%s\n", selfID())
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetUnit(args[0], stderr)
+	}
+
+	fs := flag.NewFlagSet("crlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: crlint [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "crlint: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "crlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "crlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selfID hashes the executable so `go vet` re-runs the tool whenever it
+// is rebuilt with different analyzers instead of serving stale cached
+// diagnostics.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the merge gate: the whole module must pass every
+// analyzer. A finding here means either a real determinism/purity
+// violation or a missing //cr: justification — fix the code or justify
+// the escape, never weaken the analyzer.
+func TestRepoIsClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, "../..", &out, &errw); code != 0 {
+		t.Fatalf("crlint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+}
+
+// TestVetHandshake checks the `go vet -vettool` version/flags protocol:
+// -V=full must print a fingerprint line and -flags the tool's extra
+// flags (none), both exiting 0 without analyzing anything.
+func TestVetHandshake(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-V=full"}, ".", &out, &errw); code != 0 {
+		t.Fatalf("-V=full exited %d: %s", code, errw.String())
+	}
+	if !strings.HasPrefix(out.String(), "crlint version ") || !strings.Contains(out.String(), "buildID=") {
+		t.Errorf("-V=full output %q: want crlint version line with buildID", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-flags"}, ".", &out, &errw); code != 0 {
+		t.Fatalf("-flags exited %d: %s", code, errw.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("-flags output %q: want []", out.String())
+	}
+}
+
+// TestFindingsExitStatus runs the standalone mode against a fixture
+// tree (which deliberately violates the analyzers) and expects exit 1
+// with findings on stdout.
+func TestFindingsExitStatus(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"./internal/analysis/rngsource/testdata/src/core/"}, "../..", &out, &errw)
+	if code != 1 {
+		t.Fatalf("fixture lint exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "rngsource:") {
+		t.Errorf("fixture findings missing rngsource diagnostics:\n%s", out.String())
+	}
+}
+
+// buildSelf compiles the crlint binary once for vettool tests.
+func buildSelf(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "crlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/crlint")
+	cmd.Dir = "../.."
+	if outb, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/crlint: %v\n%s", err, outb)
+	}
+	return bin
+}
+
+// TestVettoolClean drives the full `go vet -vettool` protocol against a
+// clean package of this module.
+func TestVettoolClean(t *testing.T) {
+	bin := buildSelf(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/flit/")
+	cmd.Dir = "../.."
+	if outb, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, outb)
+	}
+}
+
+// TestVettoolFindsViolations builds a scratch module that shadows the
+// crnet module path (so its internal/core is treated as simulation
+// core) with a math/rand import, and expects `go vet -vettool` to fail
+// with an rngsource diagnostic.
+func TestVettoolFindsViolations(t *testing.T) {
+	bin := buildSelf(t)
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module crnet\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(mod, "internal", "core", "core.go"), `package core
+
+import "math/rand"
+
+func Jitter() int { return rand.Intn(8) }
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/core/")
+	cmd.Dir = mod
+	outb, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on violating package succeeded; want failure\n%s", outb)
+	}
+	if !strings.Contains(string(outb), "math/rand imported in simulation-core") {
+		t.Errorf("vet output missing rngsource diagnostic:\n%s", outb)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package analysistest runs one analyzer over fixture packages under
+// the analyzer's testdata/src directory and checks its diagnostics
+// against `// want` expectations, mirroring the x/tools package of the
+// same name (reduced to the subset the crlint analyzers use).
+//
+// A fixture file marks each line that must produce a diagnostic with a
+// trailing comment of quoted regular expressions:
+//
+//	for k := range m { // want `range over map`
+//
+// Every regexp must match exactly one diagnostic reported on its line,
+// and every diagnostic must be claimed by exactly one regexp; anything
+// unmatched in either direction fails the test. Fixture packages are
+// real, compiling packages inside the module, so they type-check
+// against the same export data as production code; a fixture directory
+// named testdata/src/<name> is treated by the analyzers as the package
+// crnet/internal/<name> (see analysis.CorePackage), which is how a
+// fixture opts in to — or out of — simulation-core enforcement.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"crnet/internal/analysis"
+)
+
+// expectation is one `// want` regexp with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads ./testdata/src/<fixture> for each fixture name, applies the
+// analyzer, and reports any mismatch between diagnostics and `// want`
+// expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	if len(fixtures) == 0 {
+		t.Fatal("analysistest: no fixtures given")
+	}
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = "./testdata/src/" + f
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("analysistest: loaded %d packages for %d fixtures", len(pkgs), len(fixtures))
+	}
+
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := parseWants(pkg, f)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, fd := range findings {
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != fd.Position.Filename || w.line != fd.Position.Line {
+				continue
+			}
+			if w.re.MatchString(fd.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic at %s: %s", fd.Position, fd.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the `// want` expectations of one file.
+func parseWants(pkg *analysis.Package, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			res, err := parsePatterns(strings.TrimPrefix(text, "want "))
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad want comment: %v", pos, err)
+			}
+			if len(res) == 0 {
+				return nil, fmt.Errorf("%s: want comment without patterns", pos)
+			}
+			for _, re := range res {
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexps. Both
+// double quotes and backquotes are accepted; double-quoted patterns may
+// escape the quote itself with a backslash.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' && quote == '"' {
+				i++
+				continue
+			}
+			if s[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		body := s[1:end]
+		if quote == '"' {
+			body = strings.ReplaceAll(body, `\"`, `"`)
+		}
+		re, err := regexp.Compile(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"crnet/internal/analysis/analysistest"
+	"crnet/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, detmap.Analyzer, "core", "harness")
+}

@@ -1,0 +1,59 @@
+// Package core is a detmap fixture: its directory maps to
+// crnet/internal/core, so simulation-core enforcement applies.
+package core
+
+import "sort"
+
+// ID is a stand-in key type.
+type ID int
+
+// Sum ranges a map with an observable accumulation order (floats would
+// differ per order; even for ints the analyzer cannot tell).
+func Sum(m map[ID]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map m iterates in nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+// SortedKeys collects keys for sorted iteration. The collection loop
+// itself is order-insensitive only because of the sort that follows,
+// which is exactly what the annotation asserts.
+func SortedKeys(m map[ID]float64) []int {
+	keys := make([]int, 0, len(m))
+	//cr:orderinvariant keys are sorted before any consumer sees them
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Clear is the provable pattern: every statement deletes the ranged
+// map's current key, so no annotation is needed.
+func Clear(m map[ID]float64) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Unjustified has the annotation but no reason, which is itself a
+// finding: the justification is the point.
+func Unjustified(m map[ID]int) int {
+	n := 0
+	//cr:orderinvariant
+	for range m { // want `needs a justification`
+		n++
+	}
+	return n
+}
+
+// Slices ranges a slice: order is defined, nothing to flag.
+func Slices(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

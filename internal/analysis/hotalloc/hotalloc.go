@@ -1,0 +1,357 @@
+// Package hotalloc implements the crlint analyzer that keeps
+// `//cr:hotpath`-annotated functions free of allocating constructs.
+//
+// PR 4 made the steady-state cycle kernel allocation-free, and the
+// runtime gate (TestSteadyStateZeroAlloc, `make alloc-gate`) holds that
+// line — but only for the configurations the test samples. hotalloc is
+// the compile-time complement: every function annotated //cr:hotpath is
+// rejected if it contains a construct that allocates on every
+// execution, regardless of configuration. The two layers are
+// deliberately complementary: hotalloc cannot see growth reallocation
+// (a warmed-up self-append is free, a cold one is not), and the runtime
+// gate cannot see paths its configurations never reach.
+//
+// Flagged constructs: make/new, &composite-literal, slice and map
+// literals, closures, go statements, string concatenation and
+// string<->[]byte conversions, appends whose result does not flow back
+// into the appended slice (those can never reuse their backing), and
+// interface boxing of non-pointer values (conversions, call arguments,
+// assignments, returns). Two escapes: code inside a block that ends in
+// panic is exempt (failure paths may allocate their message), and a
+// statement annotated `//cr:alloc <justification>` is accepted — used
+// for provably-cold paths such as pool misses that only occur during
+// warmup.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crnet/internal/analysis"
+)
+
+// Analyzer flags per-execution allocations in //cr:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocating constructs in //cr:hotpath functions; annotate " +
+		"//cr:alloc to justify a cold-path exception",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, hot := pass.FuncAnnotated(fn, "hotpath"); !hot {
+				continue
+			}
+			w := &walker{pass: pass, fn: fn}
+			w.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+// walker traverses one hot function keeping the ancestor stack, so a
+// finding can be suppressed when it sits on a panicking failure path.
+type walker struct {
+	pass  *analysis.Pass
+	fn    *ast.FuncDecl
+	stack []ast.Node
+}
+
+// walk visits every node under root; ast.Inspect's f(nil) post-visit
+// calls keep the ancestor stack balanced. check runs before its node is
+// pushed, so the stack top is always the node's parent.
+func (w *walker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		w.check(n)
+		w.stack = append(w.stack, n)
+		return true
+	})
+}
+
+// report emits a finding unless the node is on a panic path or carries
+// a //cr:alloc annotation.
+func (w *walker) report(n ast.Node, format string, args ...any) {
+	if w.onPanicPath() {
+		return
+	}
+	if ann, ok := w.pass.Annotated(n, "alloc"); ok {
+		if ann.Reason == "" {
+			w.pass.Reportf(n.Pos(), "//cr:alloc needs a justification (why is this allocation cold?)")
+		}
+		return
+	}
+	w.pass.Reportf(n.Pos(), "%s in //cr:hotpath function %s (annotate //cr:alloc to justify a cold path)",
+		fmt.Sprintf(format, args...), w.fn.Name.Name)
+}
+
+// onPanicPath reports whether the current node lies in a statement list
+// that unconditionally ends in panic: the canonical invariant-guard
+// shape `if bad { panic(fmt.Sprintf(...)) }`. Such blocks execute at
+// most once per process, so their allocations cost nothing in steady
+// state.
+func (w *walker) onPanicPath() bool {
+	for _, n := range w.stack {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		if len(list) == 0 {
+			continue
+		}
+		if es, ok := list[len(list)-1].(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *walker) check(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.checkCall(n)
+	case *ast.CompositeLit:
+		w.checkCompositeLit(n)
+	case *ast.FuncLit:
+		w.report(n, "closure literal allocates")
+	case *ast.GoStmt:
+		w.report(n, "go statement allocates a goroutine (and is nondeterministic)")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(w.pass.TypesInfo.TypeOf(n.X)) {
+			w.report(n, "string concatenation allocates")
+		}
+	case *ast.AssignStmt:
+		w.checkAssignBoxing(n)
+	case *ast.ReturnStmt:
+		w.checkReturnBoxing(n)
+	}
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		w.checkConversion(call, tv.Type)
+		return
+	}
+	if tv.IsBuiltin() {
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch id.Name {
+		case "make":
+			w.report(call, "make allocates")
+		case "new":
+			w.report(call, "new allocates")
+		case "append":
+			if !w.appendReusesBacking(call) {
+				w.report(call, "append whose result does not flow back into %s cannot reuse its backing array",
+					types.ExprString(call.Args[0]))
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	w.checkArgBoxing(call, sig)
+}
+
+// checkConversion flags T(x) conversions that allocate: boxing into an
+// interface and string<->[]byte/[]rune copies.
+func (w *walker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := w.pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(target) {
+		if boxes(src) {
+			w.report(call, "conversion of %s to interface %s boxes the value", src, target)
+		}
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	_, targetSlice := tu.(*types.Slice)
+	_, srcSlice := su.(*types.Slice)
+	if (isString(src) && targetSlice) || (srcSlice && isString(target)) {
+		w.report(call, "string/slice conversion copies and allocates")
+	}
+}
+
+// appendReusesBacking reports whether the append's result is assigned
+// back to the slice being appended to (x = append(x, ...)) or returned
+// for the caller to do so. Both shapes are allocation-free once the
+// backing array has warmed up to its steady-state capacity; the runtime
+// alloc gate covers the warmup growth.
+func (w *walker) appendReusesBacking(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst := types.ExprString(call.Args[0])
+	if len(w.stack) == 0 {
+		return false
+	}
+	switch parent := w.stack[len(w.stack)-1].(type) {
+	case *ast.AssignStmt:
+		if len(parent.Lhs) == 1 && len(parent.Rhs) == 1 && parent.Rhs[0] == call {
+			return types.ExprString(parent.Lhs[0]) == dst
+		}
+	case *ast.ReturnStmt:
+		return true
+	}
+	return false
+}
+
+// checkArgBoxing flags concrete non-pointer arguments passed to
+// interface-typed parameters (including variadic ...interface).
+func (w *walker) checkArgBoxing(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := w.pass.TypesInfo.TypeOf(arg)
+		if at != nil && boxes(at) {
+			w.report(arg, "argument %s boxes %s into interface %s", types.ExprString(arg), at, pt)
+		}
+	}
+}
+
+func (w *walker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lt := w.pass.TypesInfo.TypeOf(as.Lhs[0])
+	rt := w.pass.TypesInfo.TypeOf(as.Rhs[0])
+	if lt == nil || rt == nil || as.Tok == token.DEFINE {
+		return
+	}
+	if types.IsInterface(lt) && boxes(rt) {
+		w.report(as, "assignment boxes %s into interface %s", rt, lt)
+	}
+}
+
+func (w *walker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	obj := w.pass.TypesInfo.Defs[w.fn.Name]
+	fobj, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	results := fobj.Type().(*types.Signature).Results()
+	if results == nil || results.Len() != len(ret.Results) {
+		return
+	}
+	for i, expr := range ret.Results {
+		rt := results.At(i).Type()
+		et := w.pass.TypesInfo.TypeOf(expr)
+		if et != nil && types.IsInterface(rt) && boxes(et) {
+			w.report(expr, "return boxes %s into interface %s", et, rt)
+		}
+	}
+}
+
+// checkCompositeLit flags literals whose construction allocates: slice
+// and map literals always do; a struct or array literal is a stack
+// value unless its address is taken, which the UnaryExpr case catches.
+func (w *walker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := w.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if len(w.stack) > 0 {
+		if u, ok := w.stack[len(w.stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == lit {
+			w.report(u, "&%s escapes to the heap", types.ExprString(lit.Type))
+			return
+		}
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		w.report(lit, "slice literal allocates its backing array")
+	case *types.Map:
+		w.report(lit, "map literal allocates")
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: pointer-shaped values (pointers, channels, maps,
+// functions, unsafe.Pointer) ride in the interface word for free;
+// everything else is copied to the heap.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

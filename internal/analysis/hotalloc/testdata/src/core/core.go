@@ -1,0 +1,60 @@
+// Package core is a hotalloc fixture: functions annotated //cr:hotpath
+// must not contain constructs that allocate on every execution.
+package core
+
+import "fmt"
+
+// item is a value type; boxing it into an interface allocates.
+type item struct{ a, b int }
+
+// String implements fmt.Stringer with a value receiver.
+func (it item) String() string { return "item" }
+
+// Hot demonstrates every flagged construct and every escape.
+//
+//cr:hotpath fixture steady-state path
+func Hot(buf []int, it item, s fmt.Stringer) []int {
+	buf = append(buf, 1)      // ok: self-append reuses its backing
+	other := append(buf, 2)   // want `append whose result does not flow back into buf`
+	scratch := make([]int, 4) // want `make allocates`
+	p := new(item)            // want `new allocates`
+	q := &item{}              // want `&item escapes to the heap`
+	lit := []int{1, 2}        // want `slice literal allocates`
+	table := map[int]int{}    // want `map literal allocates`
+	f := func() {}            // want `closure literal allocates`
+	msg := "a" + s.String()   // want `string concatenation allocates`
+	raw := []byte(msg)        // want `string/slice conversion copies`
+	var str fmt.Stringer
+	str = it              // want `assignment boxes`
+	fmt.Println(len(raw)) // want `boxes int into interface`
+	if len(buf) > 1<<20 {
+		// ok: a block ending in panic is a failure path.
+		panic(fmt.Sprintf("runaway buffer %d", len(buf)))
+	}
+	pool := &item{} //cr:alloc pool miss: only reached before steady state
+	_, _, _, _, _, _, _, _ = other, scratch, p, q, lit, table, f, pool
+	_ = str
+	return append(buf, 3) // ok: returned for the caller to fold back
+}
+
+// Boxed returns a concrete value through an interface result.
+//
+//cr:hotpath fixture return-boxing path
+func Boxed(it item) fmt.Stringer {
+	return it // want `return boxes`
+}
+
+// Spawn starts a goroutine from a hot path.
+//
+//cr:hotpath fixture goroutine path
+func Spawn(ch chan int) {
+	go send(ch) // want `go statement allocates`
+}
+
+func send(ch chan int) { ch <- 1 }
+
+// Cold is unannotated: the same constructs are not flagged.
+func Cold() []int {
+	m := map[int]int{1: 1}
+	return []int{len(m)}
+}

@@ -1,0 +1,98 @@
+// Package rngsource implements the crlint analyzer that keeps all
+// simulation-core randomness flowing through internal/rng streams with
+// derived seeds.
+//
+// Two rules. First, math/rand and math/rand/v2 are banned outright in
+// core packages: their streams are unspecified across Go releases and
+// the top-level functions share seeded-once global state, either of
+// which breaks cross-version and cross-worker reproducibility. The
+// repo's xoshiro256** implementation (internal/rng) is the only
+// sanctioned generator. Second, rng.New / (*rng.Source).Reseed must not
+// be fed ad-hoc constant seeds in the core: a literal seed hides a
+// stochastic stream from the harness's splitmix64 derivation
+// (harness.PointSeed), so two sweep points could silently share a
+// stream. Seeds must arrive through configuration. The escape
+// annotation is `//cr:randsource <justification>`.
+package rngsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"crnet/internal/analysis"
+)
+
+// Analyzer flags unsanctioned randomness in the simulation core.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc: "forbid math/rand imports and constant rng seeds in simulation-core " +
+		"packages; randomness flows through internal/rng with derived seeds " +
+		"(annotate //cr:randsource to justify an exemption)",
+	Run: run,
+}
+
+const rngPath = "crnet/internal/rng"
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsCore() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			if ann, ok := pass.Annotated(imp, "randsource"); ok && ann.Reason != "" {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"%s imported in simulation-core package %s; use crnet/internal/rng (stream is pinned across Go releases and seeded per point)",
+				path, pass.CorePath())
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != rngPath {
+				return true
+			}
+			if fn.Name() != "New" && fn.Name() != "Reseed" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			seed := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[seed]
+			if !ok || tv.Value == nil {
+				return true // non-constant seed: derived from config, fine
+			}
+			if ann, ok := pass.Annotated(call, "randsource"); ok {
+				if ann.Reason == "" {
+					pass.Reportf(call.Pos(), "//cr:randsource needs a justification (why may this stream bypass seed derivation?)")
+				}
+				return true
+			}
+			pass.Reportf(seed.Pos(),
+				"rng.%s with constant seed %s in simulation-core package %s; derive seeds from configuration (e.g. harness.PointSeed) or annotate //cr:randsource with a justification",
+				fn.Name(), types.ExprString(seed), pass.CorePath())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"crnet/internal/analysis/analysistest"
+	"crnet/internal/analysis/rngsource"
+)
+
+func TestRngsource(t *testing.T) {
+	analysistest.Run(t, rngsource.Analyzer, "core", "harness")
+}

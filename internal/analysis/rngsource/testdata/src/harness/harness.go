@@ -1,0 +1,9 @@
+// Package harness is an rngsource fixture for the exempt side: layers
+// outside the simulation core may use math/rand (e.g. for jittered
+// backoff in tooling that never touches simulation results).
+package harness
+
+import "math/rand"
+
+// Jitter is allowed here: the harness is not simulation-core.
+func Jitter() int { return rand.Intn(100) }

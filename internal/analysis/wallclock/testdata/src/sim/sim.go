@@ -1,0 +1,34 @@
+// Package sim is a wallclock fixture: its directory maps to
+// crnet/internal/sim, a simulation-core package where the wall clock is
+// off limits.
+package sim
+
+import "time"
+
+// Cycles is fine: durations are configuration, not clock reads.
+func Cycles(budget time.Duration) int64 {
+	return int64(budget / time.Microsecond)
+}
+
+// Stamp samples the wall clock in the core.
+func Stamp() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+// Wait stalls on the host scheduler.
+func Wait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// Justified measurement that cannot feed back into simulation state.
+func Justified() time.Time {
+	//cr:wallclock reporting-only timestamp, never read by the simulation
+	return time.Now()
+}
+
+// Unjustified carries the annotation without a reason.
+func Unjustified() time.Time {
+	//cr:wallclock
+	return time.Now() // want `needs a justification`
+}

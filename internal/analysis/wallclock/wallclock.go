@@ -1,0 +1,74 @@
+// Package wallclock implements the crlint analyzer that forbids
+// wall-clock reads and waits in simulation-core packages.
+//
+// The simulator is cycle-timed: every timestamp, timeout and latency in
+// the core is an int64 cycle counter, which is what makes runs exactly
+// reproducible and lets the harness compare parallel and serial sweeps
+// byte for byte. A time.Now or time.Sleep in the core couples results
+// to the host's clock and scheduler. Wall-clock concerns (per-point
+// durations, sweep timeouts, progress ETAs) belong to the exempt
+// harness and cmd layers — see harness.SweepSafe, which measures point
+// wall time so sim never has to. The escape annotation is
+// `//cr:wallclock <justification>`, for measurement that provably
+// cannot influence simulation state.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crnet/internal/analysis"
+)
+
+// Analyzer flags wall-clock access in the simulation core.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep and friends in simulation-core packages " +
+		"(cycle counters only); annotate //cr:wallclock to justify an exemption",
+	Run: run,
+}
+
+// forbidden are the package-level time functions that read or wait on
+// the wall clock. Types (time.Duration) and pure conversions remain
+// allowed: configuration may be expressed in durations as long as the
+// core never samples the clock.
+var forbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsCore() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFn := obj.(*types.Func); !isFn || !forbidden[obj.Name()] {
+				return true
+			}
+			if ann, ok := pass.Annotated(sel, "wallclock"); ok {
+				if ann.Reason == "" {
+					pass.Reportf(sel.Pos(), "//cr:wallclock needs a justification (why can this clock read not influence simulation state?)")
+				}
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in simulation-core package %s; the core is cycle-timed — move timing to harness/cmd or annotate //cr:wallclock with a justification",
+				obj.Name(), pass.CorePath())
+			return true
+		})
+	}
+	return nil
+}

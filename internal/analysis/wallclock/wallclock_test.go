@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"crnet/internal/analysis/analysistest"
+	"crnet/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "sim", "harness")
+}

@@ -200,6 +200,8 @@ func (in *Injector) maxPathHops(dst topology.NodeID, attempt int) int {
 // buildFrame frames a message for the given attempt, applying the
 // protocol's padding rule, and returns the frame plus the commit
 // threshold (imin) below which timeout kills are permitted.
+//
+//cr:hotpath framing on every attempt start (first send and each retry)
 func (in *Injector) buildFrame(m flit.Message, attempt int) (flit.Frame, int) {
 	dist := in.maxPathHops(m.Dst, attempt)
 	switch in.cfg.Protocol {
@@ -242,12 +244,15 @@ func clampPad(pad, min int) int {
 // Tick advances every channel by one cycle: starting queued messages,
 // injecting at most one flit per channel, detecting stall timeouts, and
 // resuming after backoff.
+//
+//cr:hotpath injector entry point, once per active injector per cycle
 func (in *Injector) Tick(now int64) {
 	for i := range in.chs {
 		in.tickChannel(now, i)
 	}
 }
 
+//cr:hotpath per-channel protocol state machine, every active cycle
 func (in *Injector) tickChannel(now int64, i int) {
 	ch := &in.chs[i]
 	switch ch.phase {
@@ -308,6 +313,8 @@ func (in *Injector) tickChannel(now int64, i int) {
 }
 
 // inject attempts to push one flit of the current frame.
+//
+//cr:hotpath one flit injected per sending channel per cycle
 func (in *Injector) inject(now int64, i int) {
 	ch := &in.chs[i]
 	port := in.ports[i]
@@ -348,6 +355,8 @@ func (in *Injector) inject(now int64, i int) {
 // deadlock is detected: the source has been unable to inject for the
 // timeout period while the worm is not yet committed (fewer than imin
 // flits in the network, so the header may still be blocked in a cycle).
+//
+//cr:hotpath stall bookkeeping on every blocked injection cycle
 func (in *Injector) stalled(now int64, i int) {
 	ch := &in.chs[i]
 	in.stats.StallCycles++
@@ -371,6 +380,8 @@ func (in *Injector) stalled(now int64, i int) {
 // FKilled notifies the injector that a backward FKILL for worm reached
 // this source at cycle now (the router has already purged the injection
 // channel). The channel backs off and retransmits.
+//
+//cr:hotpath per-FKILL notification; frequent under FCR with faults
 func (in *Injector) FKilled(worm flit.WormID, now int64) {
 	for i := range in.chs {
 		ch := &in.chs[i]

@@ -108,6 +108,8 @@ func (rc *Receiver) Pending() int { return len(rc.asm) }
 // call. The simulation harness drains once per cycle. The returned slice
 // is only valid until the call after next: the receiver alternates two
 // buffers, so callers must copy anything they keep past one cycle.
+//
+//cr:hotpath delivery handoff, once per accepting receiver per cycle
 func (rc *Receiver) Drain() []Delivery {
 	d := rc.deliveries
 	rc.deliveries = rc.drained[:0]
@@ -118,6 +120,11 @@ func (rc *Receiver) Drain() []Delivery {
 // Reset returns the receiver to its initial empty state, retaining its
 // allocated buffers.
 func (rc *Receiver) Reset() {
+	// The visit order only decides which *assembly pointers land where in
+	// the pool, and getAsm zeroes a record before reuse, so pointer
+	// identity is the sole difference — unobservable in any simulation
+	// output.
+	//cr:orderinvariant only pool pointer order varies; records are zeroed on reuse
 	for w, a := range rc.asm {
 		rc.putAsm(a)
 		delete(rc.asm, w)
@@ -130,6 +137,8 @@ func (rc *Receiver) Reset() {
 
 // getAsm takes an assembly record from the pool (or allocates one) and
 // initializes it.
+//
+//cr:hotpath assembly acquisition on every head flit
 func (rc *Receiver) getAsm() *assembly {
 	if n := len(rc.pool); n > 0 {
 		a := rc.pool[n-1]
@@ -137,12 +146,15 @@ func (rc *Receiver) getAsm() *assembly {
 		*a = assembly{}
 		return a
 	}
-	return &assembly{}
+	return &assembly{} //cr:alloc pool miss, only before the pool warms up; steady state always hits
 }
 
+//cr:hotpath assembly release on every delivery or tear-down
 func (rc *Receiver) putAsm(a *assembly) { rc.pool = append(rc.pool, a) }
 
 // Accept consumes one flit arriving on ejection channel ch at cycle now.
+//
+//cr:hotpath per-flit reception entry point
 func (rc *Receiver) Accept(ch int, f flit.Flit, now int64) {
 	a := rc.asm[f.Worm]
 	if f.Kind == flit.Head {
@@ -207,6 +219,7 @@ func (rc *Receiver) reject(ch int, worm flit.WormID) {
 	rc.fkill.FKill(ch, worm)
 }
 
+//cr:hotpath message completion on every tail flit
 func (rc *Receiver) deliver(worm flit.WormID, a *assembly, now int64) {
 	delete(rc.asm, worm)
 	defer rc.putAsm(a)

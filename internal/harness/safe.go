@@ -16,6 +16,15 @@ type SafeOptions struct {
 	// ignores cancellation leaks a goroutine for the sweep's remainder
 	// but cannot stall it).
 	PointTimeout time.Duration
+	// OnPointMS, when non-nil, receives each successful point's
+	// wall-clock duration in milliseconds, from the completing worker's
+	// goroutine (calls for distinct indices may be concurrent). Failed
+	// points report their partial timing through PointError.ElapsedMS
+	// instead. This is the only wall-clock measurement a sweep needs:
+	// callers in the simulation core must consume it rather than
+	// sampling time.Now themselves (crlint's wallclock analyzer enforces
+	// that).
+	OnPointMS func(i int, ms float64)
 }
 
 // PointError records one failed sweep point for the artifact's errors
@@ -116,6 +125,9 @@ func SweepSafe[T any](n int, opt SafeOptions, fn func(i int, cancel <-chan struc
 				fail(PointError{Index: i, Kind: PointErrKind, Err: o.err.Error(), ElapsedMS: ms})
 			default:
 				results[i] = o.val
+				if opt.OnPointMS != nil {
+					opt.OnPointMS(i, ms)
+				}
 			}
 		case <-timeout:
 			close(cancel) // ask the point to stop; do not wait for it

@@ -67,6 +67,8 @@ var pipeline = [...]enginePhase{
 // Step advances the simulation one cycle: the phase pipeline, invariant
 // checks (Config.Check), the Monitor hook, the cycle increment, and the
 // Observer hook, in that order.
+//
+//cr:hotpath cycle-kernel entry point; zero-alloc steady state (TestSteadyStateZeroAlloc)
 func (n *Network) Step() {
 	progressed := false
 	for i := range pipeline {

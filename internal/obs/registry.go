@@ -54,7 +54,10 @@ type probe struct {
 // schema of the series a sampler produces from it.
 type Registry struct {
 	probes []probe
-	names  map[string]bool
+	// names is a duplicate-registration guard only: it is looked up and
+	// written, never ranged (crlint detmap audit), so all iteration order
+	// comes from the probes slice and the schema stays deterministic.
+	names map[string]bool
 }
 
 // NewRegistry returns an empty registry.

@@ -12,6 +12,8 @@ import (
 // waiting at the buffer front and tries to claim an output virtual
 // channel for it. Corrupt headers (under VerifyHeaders) trigger a
 // backward tear-down whose emissions are appended to emits.
+//
+//cr:hotpath allocation entry point, once per active router per cycle
 func (r *Router) RouteAndAllocate(emits []Emit) []Emit {
 	for i := range r.ins {
 		v := &r.ins[i]
@@ -77,6 +79,8 @@ func (r *Router) tearCorruptHeader(v *inVC, emits []Emit) []Emit {
 
 // allocateEjection claims a free ejection channel for a worm that has
 // reached its destination.
+//
+//cr:hotpath ejection claim for every worm reaching its destination
 func (r *Router) allocateEjection(v *inVC) bool {
 	for e := r.deg; e < len(r.outs); e++ {
 		o := &r.outs[e].vcs[0]
@@ -98,6 +102,8 @@ func (r *Router) allocateEjection(v *inVC) bool {
 // the first free one, rotating among equally preferred (non-escape)
 // candidates for load spreading. Escape-channel allocations are counted
 // as potential deadlock situations (PDS).
+//
+//cr:hotpath routing + VC claim for every waiting header, every cycle
 func (r *Router) allocateNetwork(v *inVC, head *flit.Flit) bool {
 	inPort := topology.InvalidPort
 	inVCIdx := -1
@@ -148,6 +154,8 @@ func (r *Router) allocateNetwork(v *inVC, head *flit.Flit) bool {
 
 // selectCandidate applies the configured selection policy to a non-empty
 // list of free, equally preferred candidates.
+//
+//cr:hotpath candidate selection on every successful allocation
 func (r *Router) selectCandidate(free []routing.Candidate) routing.Candidate {
 	switch r.cfg.Select {
 	case SelectFirst:
@@ -169,6 +177,8 @@ func (r *Router) selectCandidate(free []routing.Candidate) routing.Candidate {
 
 // portCredit returns the total downstream credit across a network
 // output port's virtual channels — its "drained-ness".
+//
+//cr:hotpath least-loaded selection metric
 func (r *Router) portCredit(p topology.Port) int {
 	total := 0
 	for vc := range r.outs[p].vcs {
@@ -182,12 +192,15 @@ func (r *Router) portCredit(p topology.Port) int {
 // home). The credit condition keeps consecutive worms on one VC from
 // overlapping — the new head must not arrive while the previous worm's
 // tail is still buffered downstream.
+//
+//cr:hotpath per-candidate freeness test during allocation
 func (r *Router) candFree(c routing.Candidate) bool {
 	out := &r.outs[c.Port]
 	ov := &out.vcs[c.VC]
 	return out.linkUp && !ov.held && ov.credit == r.cfg.BufDepth
 }
 
+//cr:hotpath output-VC claim on every successful allocation
 func (r *Router) claim(v *inVC, head *flit.Flit, c routing.Candidate) bool {
 	o := &r.outs[c.Port].vcs[c.VC]
 	o.held = true

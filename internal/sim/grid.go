@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"time"
-
 	"crnet/internal/harness"
 	"crnet/internal/invariant"
 	"crnet/internal/network"
@@ -59,14 +57,17 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 		pr := harness.NewProgress(s.Progress, label, len(points))
 		onPoint = pr.Point
 	}
+	// Wall-clock timing is the harness's concern, not the core's: the
+	// sweep engine measures each point and reports it back here, so this
+	// package stays free of time.Now (crlint wallclock).
 	durs := make([]float64, len(points))
 	opt := harness.SafeOptions{
 		Options:      harness.Options{Workers: s.Parallel, OnPoint: onPoint},
 		PointTimeout: s.PointTimeout,
+		OnPointMS:    func(i int, ms float64) { durs[i] = ms },
 	}
 	ms, errs := harness.SweepSafe(len(points), opt, func(i int, cancel <-chan struct{}) (Metrics, error) {
 		p := points[i]
-		t0 := time.Now()
 		m, err := Run(Config{
 			Net:           p.Net,
 			Pattern:       p.Pattern,
@@ -84,7 +85,6 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 		if err != nil {
 			return Metrics{}, err
 		}
-		durs[i] = float64(time.Since(t0)) / float64(time.Millisecond)
 		return m, nil
 	})
 	if s.Collect != nil {
