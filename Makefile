@@ -3,13 +3,13 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint staticcheck race race-harness chaos bench bench-kernel alloc-gate results profile
+.PHONY: verify build test vet lint staticcheck race race-harness chaos bench bench-kernel alloc-gate snapshot-pin results profile
 
 # Tier-1: build + tests, then vet, then the custom static-invariant
 # suite, then the cycle-kernel allocation gate, then the worker pool's
 # determinism test under the race detector (fast, targeted), then the
-# chaos soak.
-verify: build test vet lint alloc-gate race-harness chaos
+# checkpoint/restore resume pin, then the chaos soak.
+verify: build test vet lint alloc-gate race-harness snapshot-pin chaos
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,15 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# Deterministic-resume pin: checkpoint at cycle K, restore, continue —
+# byte-identical to an unbroken run, at the network, replayer, service
+# and binary (crsimd) layers, under the race detector and uncached so
+# the guarantee cannot silently go stale.
+snapshot-pin:
+	$(GO) test -race -count=1 \
+		-run 'TestResume|TestServiceResume|TestReplayerPosition|TestResetAfterRestore' \
+		./internal/network/ ./internal/sim/ ./internal/workload/ ./cmd/crsimd/
 
 # Allocation-regression gate: after warmup, one loaded simulation cycle
 # (traffic + step + drain) must not allocate. Run uncached so it cannot

@@ -91,6 +91,7 @@ var corePrefixes = []string{
 	"crnet/internal/workload",
 	"crnet/internal/obs",
 	"crnet/internal/invariant",
+	"crnet/internal/snapshot",
 }
 
 // CorePackage reports whether pkgPath is (or, for analyzer test

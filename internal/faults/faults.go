@@ -28,15 +28,24 @@ import (
 
 	"crnet/internal/flit"
 	"crnet/internal/rng"
+	"crnet/internal/snapshot"
 )
 
 // Corrupter is a transient data-corruption process applied to every flit
-// crossing a link. Implementations are deterministic given their seed.
+// crossing a link. Implementations are deterministic given their seed
+// and checkpointable: SaveState/LoadState capture the process position
+// (RNG stream, channel state, injected count) so a restored network
+// replays the exact corruption stream an unbroken run would see.
 type Corrupter interface {
 	// Apply possibly corrupts f in place and reports whether it did.
 	Apply(f *flit.Flit) bool
 	// Injected returns how many corruptions have been applied.
 	Injected() int64
+	// SaveState appends the process state to a snapshot.
+	SaveState(e *snapshot.Encoder)
+	// LoadState restores a state written by SaveState of the same
+	// process kind.
+	LoadState(d *snapshot.Decoder) error
 }
 
 // corruptFlit flips one uniformly chosen bit of the payload or, one time

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"fmt"
+
+	"crnet/internal/snapshot"
+)
+
+// Checkpoint support: the fault processes are part of the simulation's
+// deterministic state, so the schedule cursor, the corruption RNG
+// streams and the Gilbert-Elliott channel state must all survive a
+// save/restore for a resumed run to be byte-identical to an unbroken
+// one.
+
+// Cursor returns the schedule's position: how many events have fired.
+// A nil schedule reports 0.
+func (s *Schedule) Cursor() int {
+	if s == nil {
+		return 0
+	}
+	return s.next
+}
+
+// SetCursor restores a position previously returned by Cursor. It
+// returns an error (and leaves the schedule unchanged) if the position
+// is out of range or the schedule is nil while the position is not 0 —
+// either means the checkpoint was taken against a different timeline.
+func (s *Schedule) SetCursor(next int) error {
+	if s == nil {
+		if next != 0 {
+			return fmt.Errorf("faults: restoring cursor %d into a nil schedule", next)
+		}
+		return nil
+	}
+	if next < 0 || next > len(s.events) {
+		return fmt.Errorf("faults: cursor %d outside schedule of %d events", next, len(s.events))
+	}
+	s.next = next
+	return nil
+}
+
+// SaveState serializes the transient process: its RNG stream and the
+// injected count. Rate is configuration, not state, and is not encoded.
+func (t *Transient) SaveState(e *snapshot.Encoder) {
+	st := t.rng.State()
+	for _, w := range st {
+		e.U64(w)
+	}
+	e.Varint(t.injected)
+}
+
+// LoadState restores a state saved by SaveState.
+func (t *Transient) LoadState(d *snapshot.Decoder) error {
+	var st [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	injected := d.Varint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	t.rng.SetState(st)
+	t.injected = injected
+	return nil
+}
+
+// SaveState serializes the bursty process: the channel state bit, the
+// RNG stream and the injected count. The BurstSpec is configuration.
+func (g *GilbertElliott) SaveState(e *snapshot.Encoder) {
+	e.Bool(g.bad)
+	st := g.rng.State()
+	for _, w := range st {
+		e.U64(w)
+	}
+	e.Varint(g.injected)
+}
+
+// LoadState restores a state saved by SaveState.
+func (g *GilbertElliott) LoadState(d *snapshot.Decoder) error {
+	bad := d.Bool()
+	var st [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	injected := d.Varint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	g.bad = bad
+	g.rng.SetState(st)
+	g.injected = injected
+	return nil
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// futureArtifact is a payload "from the future": a schema number beyond
+// SchemaVersion, a top-level section this code has never heard of, and
+// a v4 checkpoint section.
+const futureArtifact = `{
+  "schema": 99,
+  "tool": "crbench",
+  "scale": {"name": "quick", "k": 8, "msg_len": 16, "warmup_cycles": 1500, "measure_cycles": 6000, "loads": [0.5], "seed": 1},
+  "parallel": 4,
+  "experiments": [],
+  "checkpoint": {"file": "ckpt-0000000000004000.crsnap", "cycle": 16384, "trace": "diurnal", "stream_hash": "00c0ffee00c0ffee"},
+  "quantum_sections": [{"qubits": 12}],
+  "aux": {"note": "written by a newer tool"}
+}`
+
+// TestDecodeForwardCompat: a future-schema payload decodes, its known
+// fields land, and its unknown fields are preserved and re-emitted.
+func TestDecodeForwardCompat(t *testing.T) {
+	a, err := DecodeArtifact(strings.NewReader(futureArtifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != 99 || a.Tool != "crbench" || a.Scale.K != 8 {
+		t.Fatalf("known fields misdecoded: %+v", a)
+	}
+	if a.Checkpoint == nil || a.Checkpoint.Cycle != 16384 || a.Checkpoint.StreamHash != "00c0ffee00c0ffee" {
+		t.Fatalf("checkpoint section misdecoded: %+v", a.Checkpoint)
+	}
+	if len(a.Unknown) != 2 {
+		t.Fatalf("unknown fields = %v, want quantum_sections and aux", a.Unknown)
+	}
+
+	var out bytes.Buffer
+	if err := a.Encode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"quantum_sections"`, `"qubits": 12`, `"written by a newer tool"`, `"checkpoint"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("re-encoded artifact dropped %s:\n%s", want, out.String())
+		}
+	}
+
+	// The round trip is stable: decode the re-encoding, encode again,
+	// byte-identical.
+	b, err := DecodeArtifact(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := b.Encode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", out.String(), out2.String())
+	}
+}
+
+// TestDecodeOldSchemas: v1-era payloads (no errors/time-series/
+// checkpoint sections) still decode, with nothing spuriously classified
+// as unknown.
+func TestDecodeOldSchemas(t *testing.T) {
+	const v1 = `{"schema": 1, "tool": "crbench", "scale": {"name": "quick"}, "parallel": 1, "experiments": []}`
+	a, err := DecodeArtifact(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != 1 || len(a.Unknown) != 0 || a.Checkpoint != nil {
+		t.Fatalf("v1 decode: %+v unknown=%v", a, a.Unknown)
+	}
+}
+
+func TestDecodeRejectsInvalidSchema(t *testing.T) {
+	for _, payload := range []string{
+		`{"schema": 0, "tool": "x"}`,
+		`{"tool": "x"}`,
+		`not json`,
+	} {
+		if _, err := DecodeArtifact(strings.NewReader(payload)); err == nil {
+			t.Errorf("payload %q accepted", payload)
+		}
+	}
+}
+
+// TestEncodeWithoutUnknownsUnchanged: artifacts built in-process (no
+// Unknown map) encode exactly as the plain struct would — the custom
+// marshaler must not perturb the existing byte-stable format.
+func TestEncodeWithoutUnknownsUnchanged(t *testing.T) {
+	a := &Artifact{Schema: SchemaVersion, Tool: "crbench", Scale: ScaleEcho{Name: "quick", K: 8}}
+	var out bytes.Buffer
+	if err := a.Encode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "{\n  \"schema\": 4,\n  \"tool\": \"crbench\",\n") {
+		t.Fatalf("unexpected encoding:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "checkpoint") || strings.Contains(out.String(), "Unknown") {
+		t.Fatalf("empty optional sections leaked:\n%s", out.String())
+	}
+}

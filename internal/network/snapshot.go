@@ -1,0 +1,362 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"crnet/internal/core"
+	"crnet/internal/flit"
+	"crnet/internal/router"
+	"crnet/internal/snapshot"
+	"crnet/internal/topology"
+)
+
+// Checkpoint codec for the whole machine. SaveState captures every
+// mutable field the cycle kernel reads — link occupancy, in-flight
+// tear-down signals, deferred credits and FKILL requests, undrained
+// deliveries, the activity worklists, the transient-corruption process
+// position, the fault-timeline cursor, the health latch, the global
+// counters, and every router/injector/receiver — so that a network
+// restored from the snapshot steps forward byte-identically to one
+// that never stopped (see TestResumeByteIdentical).
+//
+// The payload begins with a fingerprint of the construction-time
+// configuration. LoadState verifies it before touching any state: a
+// snapshot can only be restored into a network built from the same
+// Config, because everything structural (topology, routing algorithm,
+// channel geometry, protocol parameters, fault timeline, seeds) is
+// reconstructed by New rather than serialized.
+//
+// Hooks, the tracer and the brute-force flag are runtime attachments,
+// not simulation state; they are preserved across LoadState.
+
+// ConfigFingerprint returns a 64-bit digest of the network's effective
+// configuration (defaults filled in), covering every knob that shapes
+// simulation behavior. Two networks with equal fingerprints are
+// structurally interchangeable for checkpoint/restore.
+func (n *Network) ConfigFingerprint() uint64 {
+	h := fnv.New64a()
+	c := &n.cfg
+	fmt.Fprintf(h, "topo=%s nodes=%d alg=%s proto=%d vcs=%d buf=%d inj=%d ej=%d",
+		c.Topo.Name(), c.Topo.Nodes(), c.Alg.Name(), c.Protocol, c.VCs, c.BufDepth,
+		c.InjectionChannels, c.EjectionChannels)
+	fmt.Fprintf(h, " timeout=%d rtimeout=%d backoff=%d/%d/%d maxattempts=%d",
+		c.Timeout, c.RouterTimeout, c.Backoff.Kind, c.Backoff.Gap, c.Backoff.Cap, c.MaxAttempts)
+	fmt.Fprintf(h, " misroute=%d/%d select=%d pad=%d rate=%g seed=%d check=%t",
+		c.MisrouteAfter, c.MaxDetours, c.Select, c.PadAdjust, c.TransientRate, c.Seed, c.Check)
+	if c.Burst != nil {
+		fmt.Fprintf(h, " burst=%+v", *c.Burst)
+	}
+	for _, ev := range c.Faults.Events() {
+		fmt.Fprintf(h, " %s", ev)
+	}
+	return h.Sum64()
+}
+
+// SaveState appends the network's complete mutable state to a snapshot.
+// Call it between Step calls (any cycle boundary); the encoding also
+// covers the queues that are only non-empty mid-step, so the boundary
+// requirement is about observational convention, not correctness.
+func (n *Network) SaveState(e *snapshot.Encoder) {
+	e.U64(n.ConfigFingerprint())
+	e.Varint(n.cycle)
+
+	for id := range n.links {
+		for p := range n.links[id] {
+			l := &n.links[id][p]
+			if !l.exists {
+				continue
+			}
+			e.Bool(l.up)
+			e.Int(l.downRefs)
+			e.Bool(l.busy)
+			if l.busy {
+				e.Int(l.vc)
+				flit.PutFlit(e, &l.f)
+			}
+			e.Varint(l.flits)
+		}
+	}
+
+	e.Uvarint(uint64(len(n.signals)))
+	for _, s := range n.signals {
+		e.Varint(int64(s.node))
+		e.U8(uint8(s.sig.Kind))
+		e.Int(s.sig.Port)
+		e.Int(s.sig.VC)
+		e.U64(uint64(s.sig.Worm))
+	}
+	e.Uvarint(uint64(len(n.credits)))
+	for _, c := range n.credits {
+		e.Varint(int64(c.node))
+		e.Int(c.port)
+		e.Int(c.vc)
+		e.Int(c.n)
+	}
+	e.Uvarint(uint64(len(n.fkills)))
+	for _, f := range n.fkills {
+		e.Varint(int64(f.node))
+		e.Int(f.ch)
+		e.U64(uint64(f.worm))
+	}
+	e.Uvarint(uint64(len(n.deliveries)))
+	for i := range n.deliveries {
+		d := &n.deliveries[i]
+		e.U64(uint64(d.Msg))
+		e.U64(uint64(d.Worm))
+		e.Varint(int64(d.Src))
+		e.Int(d.DataLen)
+		e.Varint(d.Time)
+		e.Bool(d.DataOK)
+		flit.PutStamps(e, d.Stamps)
+		e.Varint(d.HeadArrived)
+	}
+
+	e.Uvarint(uint64(len(n.busyLinks)))
+	for _, ref := range n.busyLinks {
+		e.Varint(int64(ref.node))
+		e.Varint(int64(ref.port))
+	}
+	saveNodeSet(e, &n.activeR)
+	saveNodeSet(e, &n.activeI)
+	e.Uvarint(uint64(len(n.recvPend)))
+	for _, id := range n.recvPend {
+		e.Varint(int64(id))
+	}
+
+	n.corrupter.SaveState(e)
+	e.Int(n.hooks.Faults.Cursor())
+	if n.health != nil {
+		e.String(n.health.Error())
+	} else {
+		e.String("")
+	}
+	e.Varint(n.lastProgress)
+	e.Varint(n.lastFault)
+	e.Varint(n.killsDropped)
+	e.Varint(n.flitsDropped)
+	e.Varint(n.flitsDegraded)
+	e.Varint(n.flitsInjected)
+	e.Varint(n.flitsEjected)
+
+	for id := range n.routers {
+		n.routers[id].SaveState(e)
+		n.injectors[id].SaveState(e)
+		n.receivers[id].SaveState(e)
+	}
+}
+
+// saveNodeSet encodes an activity worklist verbatim: the pending ids in
+// their current order plus the needs-sort flag. The sets are not
+// reconstructed from first principles on load because membership is not
+// a pure function of the rest of the state (e.g. a stale FKILL leaves
+// an idle injector in the set until its next tick prunes it), and any
+// divergence would change worklist iteration against an unbroken run.
+func saveNodeSet(e *snapshot.Encoder, s *nodeSet) {
+	e.Uvarint(uint64(len(s.ids)))
+	for _, id := range s.ids {
+		e.Varint(int64(id))
+	}
+	e.Bool(s.dirty)
+}
+
+func loadNodeSet(d *snapshot.Decoder, s *nodeSet) error {
+	count := d.Count(len(s.member))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.reset()
+	for i := 0; i < count; i++ {
+		id := d.Varint()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id < 0 || id >= int64(len(s.member)) {
+			return fmt.Errorf("network: snapshot worklist id %d outside [0,%d)", id, len(s.member))
+		}
+		s.member[id] = true
+		s.ids = append(s.ids, int32(id))
+	}
+	s.dirty = d.Bool()
+	return d.Err()
+}
+
+// LoadState restores a state written by SaveState into a network built
+// from the same configuration. The fingerprint is checked before any
+// mutation; a mismatch (or any container-level corruption, which the
+// snapshot file CRC rejects earlier) leaves the network untouched.
+// After the fingerprint gate the decode mutates in place — the caller
+// (see sim.Service.Restore and crsimd) treats any error as fatal for
+// this network instance.
+func (n *Network) LoadState(d *snapshot.Decoder) error {
+	fp := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if want := n.ConfigFingerprint(); fp != want {
+		return fmt.Errorf("network: snapshot fingerprint %016x does not match configuration %016x", fp, want)
+	}
+	n.cycle = d.Varint()
+
+	for id := range n.links {
+		for p := range n.links[id] {
+			l := &n.links[id][p]
+			if !l.exists {
+				continue
+			}
+			l.up = d.Bool()
+			l.downRefs = d.Int()
+			l.busy = d.Bool()
+			if l.busy {
+				l.vc = d.Int()
+				l.f = flit.GetFlit(d)
+			}
+			l.flits = d.Varint()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("network: link state: %w", err)
+	}
+
+	nsig := d.Count(maxQueueItems)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n.signals = n.signals[:0]
+	for i := 0; i < nsig; i++ {
+		n.signals = append(n.signals, scheduledSignal{
+			node: topology.NodeID(d.Varint()),
+			sig: router.Signal{
+				Kind: router.SignalKind(d.U8()),
+				Port: d.Int(),
+				VC:   d.Int(),
+				Worm: flit.WormID(d.U64()),
+			},
+		})
+	}
+	ncred := d.Count(maxQueueItems)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n.credits = n.credits[:0]
+	for i := 0; i < ncred; i++ {
+		n.credits = append(n.credits, creditEvent{
+			node: topology.NodeID(d.Varint()),
+			port: d.Int(),
+			vc:   d.Int(),
+			n:    d.Int(),
+		})
+	}
+	nfk := d.Count(maxQueueItems)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n.fkills = n.fkills[:0]
+	for i := 0; i < nfk; i++ {
+		n.fkills = append(n.fkills, fkillReq{
+			node: topology.NodeID(d.Varint()),
+			ch:   d.Int(),
+			worm: flit.WormID(d.U64()),
+		})
+	}
+	ndel := d.Count(maxQueueItems)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n.deliveries = n.deliveries[:0]
+	for i := 0; i < ndel; i++ {
+		n.deliveries = append(n.deliveries, core.Delivery{
+			Msg:         flit.MessageID(d.U64()),
+			Worm:        flit.WormID(d.U64()),
+			Src:         topology.NodeID(d.Varint()),
+			DataLen:     d.Int(),
+			Time:        d.Varint(),
+			DataOK:      d.Bool(),
+			Stamps:      flit.GetStamps(d),
+			HeadArrived: d.Varint(),
+		})
+	}
+	n.drained = n.drained[:0]
+
+	nbusy := d.Count(maxQueueItems)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n.busyLinks = n.busyLinks[:0]
+	for i := 0; i < nbusy; i++ {
+		n.busyLinks = append(n.busyLinks, linkRef{
+			node: int32(d.Varint()),
+			port: int32(d.Varint()),
+		})
+	}
+	n.linkScratch = n.linkScratch[:0]
+	if err := loadNodeSet(d, &n.activeR); err != nil {
+		return fmt.Errorf("network: activeR: %w", err)
+	}
+	if err := loadNodeSet(d, &n.activeI); err != nil {
+		return fmt.Errorf("network: activeI: %w", err)
+	}
+	npend := d.Count(len(n.recvMark))
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for _, id := range n.recvPend {
+		n.recvMark[id] = false
+	}
+	n.recvPend = n.recvPend[:0]
+	for i := 0; i < npend; i++ {
+		id := d.Varint()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id < 0 || id >= int64(len(n.recvMark)) {
+			return fmt.Errorf("network: snapshot recvPend id %d outside [0,%d)", id, len(n.recvMark))
+		}
+		n.recvMark[id] = true
+		n.recvPend = append(n.recvPend, int32(id))
+	}
+
+	if err := n.corrupter.LoadState(d); err != nil {
+		return fmt.Errorf("network: corrupter: %w", err)
+	}
+	cursor := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := n.hooks.Faults.SetCursor(cursor); err != nil {
+		return fmt.Errorf("network: fault timeline: %w", err)
+	}
+	if msg := d.String(); msg != "" {
+		n.health = errors.New(msg)
+	} else {
+		n.health = nil
+	}
+	n.lastProgress = d.Varint()
+	n.lastFault = d.Varint()
+	n.killsDropped = d.Varint()
+	n.flitsDropped = d.Varint()
+	n.flitsDegraded = d.Varint()
+	n.flitsInjected = d.Varint()
+	n.flitsEjected = d.Varint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	for id := range n.routers {
+		if err := n.routers[id].LoadState(d); err != nil {
+			return err
+		}
+		if err := n.injectors[id].LoadState(d); err != nil {
+			return fmt.Errorf("network: injector %d: %w", id, err)
+		}
+		if err := n.receivers[id].LoadState(d); err != nil {
+			return fmt.Errorf("network: receiver %d: %w", id, err)
+		}
+	}
+	return d.Err()
+}
+
+// maxQueueItems bounds decoded queue lengths so a corrupt length field
+// cannot drive a huge allocation before validation fails.
+const maxQueueItems = 1 << 24

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+
+	"crnet/internal/snapshot"
+)
+
+// Checkpoint codecs for the observability layer. The sampler's ring
+// buffer and the registry's counter values are part of a service run's
+// observable state: a kill-resume run must export the same time-series
+// an unbroken run would, so both are captured exactly. Gauges are
+// closures over live simulator state and are not serialized — the
+// restored network reproduces their values by construction.
+
+// SaveState appends the registry's counter values, in registration
+// order, to a snapshot. Gauge probes contribute nothing (they are
+// polled, not accumulated); the counter count is recorded so a restore
+// into a differently composed registry fails loudly.
+func (r *Registry) SaveState(e *snapshot.Encoder) {
+	var counters int
+	for i := range r.probes {
+		if r.probes[i].counter != nil {
+			counters++
+		}
+	}
+	e.Uvarint(uint64(counters))
+	for i := range r.probes {
+		if c := r.probes[i].counter; c != nil {
+			e.Varint(c.Value())
+		}
+	}
+}
+
+// LoadState restores counter values written by SaveState. The registry
+// must have the same counter probes, in the same order, as the one the
+// snapshot was taken from (services rebuild their registry from static
+// configuration, so this holds by construction).
+func (r *Registry) LoadState(d *snapshot.Decoder) error {
+	var counters []*Counter
+	for i := range r.probes {
+		if c := r.probes[i].counter; c != nil {
+			counters = append(counters, c)
+		}
+	}
+	n := d.Count(1 << 20)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(counters) {
+		return fmt.Errorf("obs: snapshot has %d counters, registry has %d", n, len(counters))
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = d.Varint()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i, c := range counters {
+		c.v.Store(vals[i])
+	}
+	return nil
+}
+
+// SaveState appends the sampler's ring buffer to a snapshot: cadence,
+// capacity, raw ring slots, the next-eviction index, the wrap flag and
+// the total sample count. The raw layout (not the chronological view)
+// is stored so the restored sampler's future evictions happen at
+// exactly the same points.
+func (s *Sampler) SaveState(e *snapshot.Encoder) {
+	e.Varint(s.every)
+	e.Uvarint(uint64(cap(s.ring)))
+	e.Uvarint(uint64(len(s.ring)))
+	for i := range s.ring {
+		sm := &s.ring[i]
+		e.Varint(sm.Cycle)
+		e.Uvarint(uint64(len(sm.Values)))
+		for _, v := range sm.Values {
+			e.F64(v)
+		}
+	}
+	e.Int(s.next)
+	e.Bool(s.full)
+	e.Varint(s.taken)
+}
+
+// LoadState restores a state written by SaveState. The sampler must
+// have the same cadence and capacity as the snapshotted one; its ring
+// contents are replaced.
+func (s *Sampler) LoadState(d *snapshot.Decoder) error {
+	every := d.Varint()
+	// Capacity is a scalar (no elements follow it), so it must not go
+	// through Count's remaining-bytes bound — a mostly-empty ring is
+	// legitimately smaller than its capacity.
+	ringCap := int(d.Uvarint())
+	ringLen := d.Count(1 << 24)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if every != s.every || ringCap != cap(s.ring) {
+		return fmt.Errorf("obs: snapshot sampler shape every=%d cap=%d, have every=%d cap=%d",
+			every, ringCap, s.every, cap(s.ring))
+	}
+	if ringLen > ringCap {
+		return fmt.Errorf("obs: snapshot sampler ring len %d exceeds cap %d", ringLen, ringCap)
+	}
+	ring := make([]Sample, ringLen)
+	for i := range ring {
+		cycle := d.Varint()
+		nv := d.Count(1 << 20)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		vals := make([]float64, nv)
+		for j := range vals {
+			vals[j] = d.F64()
+		}
+		ring[i] = Sample{Cycle: cycle, Values: vals}
+	}
+	next := d.Int()
+	full := d.Bool()
+	taken := d.Varint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if next < 0 || next >= ringCap {
+		return fmt.Errorf("obs: snapshot sampler next index %d outside ring cap %d", next, ringCap)
+	}
+	s.ring = s.ring[:0]
+	s.ring = append(s.ring, ring...)
+	s.next = next
+	s.full = full
+	s.taken = taken
+	return nil
+}

@@ -44,6 +44,24 @@ func (r *Source) Reseed(seed uint64) {
 	}
 }
 
+// State returns the generator's four xoshiro256** state words, for
+// checkpointing. Restoring them with SetState resumes the stream at
+// exactly the next value.
+func (r *Source) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState installs a state previously captured with State. The
+// all-zero state is invalid for xoshiro and is rejected with a panic
+// (it can only arise from a corrupted or hand-rolled snapshot; the
+// checkpoint container's checksum makes silent corruption unreachable).
+func (r *Source) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("rng: SetState with all-zero state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next value in the stream.

@@ -1,0 +1,32 @@
+package rng
+
+import "testing"
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 1000; i++ {
+		r.Uint64()
+	}
+	st := r.State()
+	var want [16]uint64
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	var clone Source
+	clone.SetState(st)
+	for i := range want {
+		if got := clone.Uint64(); got != want[i] {
+			t.Fatalf("value %d after SetState: got %#x, want %#x", i, got, want[i])
+		}
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("all-zero state accepted")
+		}
+	}()
+	var r Source
+	r.SetState([4]uint64{})
+}

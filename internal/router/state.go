@@ -1,0 +1,132 @@
+package router
+
+import (
+	"fmt"
+
+	"crnet/internal/flit"
+	"crnet/internal/snapshot"
+)
+
+// Checkpoint codec for the router. Every mutable field is encoded in a
+// fixed order: per-input-VC FIFO contents (logical order) plus worm
+// claim, allocation and purge state; per-output round-robin pointers,
+// link liveness and output VC credit/holder state; the allocation
+// rotation; the event counters; and the livelock-watchdog watermark.
+// Structural state (arena layout, port geometry, the linkUp closure)
+// is reconstructed by New from configuration and is not serialized.
+//
+// The circular FIFOs are written front-to-back and restored with
+// head=0: only the logical order is observable (push and pop address
+// slots relative to head), so normalizing the head is behavior-
+// preserving and makes the encoding independent of buffer history.
+
+// SaveState appends the router's mutable state to a snapshot.
+func (r *Router) SaveState(e *snapshot.Encoder) {
+	for i := range r.ins {
+		v := &r.ins[i]
+		e.Uvarint(uint64(v.count))
+		for k := 0; k < v.count; k++ {
+			f := v.buf[(v.head+k)%len(v.buf)]
+			flit.PutFlit(e, &f)
+		}
+		e.Bool(v.active)
+		e.U64(uint64(v.worm))
+		e.Bool(v.routed)
+		e.Int(v.outP)
+		e.Int(v.outV)
+		e.U64(uint64(v.purgeWorm))
+		e.Bool(v.purgeValid)
+		e.Int(v.blocked)
+	}
+	for p := range r.outs {
+		o := &r.outs[p]
+		e.Int(o.rr)
+		e.Bool(o.linkUp)
+		for vc := range o.vcs {
+			ov := &o.vcs[vc]
+			e.Bool(ov.held)
+			e.U64(uint64(ov.worm))
+			e.Int(ov.ownerP)
+			e.Int(ov.ownerV)
+			e.Int(ov.credit)
+		}
+	}
+	e.Int(r.allocRR)
+	s := &r.stats
+	e.Varint(s.FlitsMoved)
+	e.Varint(s.HeadersRouted)
+	e.Varint(s.PDS)
+	e.Varint(s.Misroutes)
+	e.Varint(s.KillsFwd)
+	e.Varint(s.RouterKills)
+	e.Varint(s.KillsBwd)
+	e.Varint(s.StaleSignals)
+	e.Varint(s.PurgedFlits)
+	e.Varint(s.Stragglers)
+	e.Varint(s.HeaderFaults)
+	e.Varint(s.BlockedHeaders)
+	e.Int(r.maxHops)
+	e.U64(uint64(r.maxHopsWorm))
+}
+
+// LoadState restores a state written by SaveState into a router of the
+// same geometry (same topology, VC count, buffer depth and channel
+// counts — guaranteed by the network's config fingerprint check). The
+// total buffered count is recomputed from the restored FIFOs.
+func (r *Router) LoadState(d *snapshot.Decoder) error {
+	buffered := 0
+	for i := range r.ins {
+		v := &r.ins[i]
+		count := d.Count(len(v.buf))
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("router %d: input VC %d: %w", r.id, i, err)
+		}
+		for k := 0; k < count; k++ {
+			v.buf[k] = flit.GetFlit(d)
+		}
+		v.head, v.count = 0, count
+		buffered += count
+		v.active = d.Bool()
+		v.worm = flit.WormID(d.U64())
+		v.routed = d.Bool()
+		v.outP = d.Int()
+		v.outV = d.Int()
+		v.purgeWorm = flit.WormID(d.U64())
+		v.purgeValid = d.Bool()
+		v.blocked = d.Int()
+	}
+	for p := range r.outs {
+		o := &r.outs[p]
+		o.rr = d.Int()
+		o.linkUp = d.Bool()
+		for vc := range o.vcs {
+			ov := &o.vcs[vc]
+			ov.held = d.Bool()
+			ov.worm = flit.WormID(d.U64())
+			ov.ownerP = d.Int()
+			ov.ownerV = d.Int()
+			ov.credit = d.Int()
+		}
+	}
+	r.buffered = buffered
+	r.allocRR = d.Int()
+	s := &r.stats
+	s.FlitsMoved = d.Varint()
+	s.HeadersRouted = d.Varint()
+	s.PDS = d.Varint()
+	s.Misroutes = d.Varint()
+	s.KillsFwd = d.Varint()
+	s.RouterKills = d.Varint()
+	s.KillsBwd = d.Varint()
+	s.StaleSignals = d.Varint()
+	s.PurgedFlits = d.Varint()
+	s.Stragglers = d.Varint()
+	s.HeaderFaults = d.Varint()
+	s.BlockedHeaders = d.Varint()
+	r.maxHops = d.Int()
+	r.maxHopsWorm = flit.WormID(d.U64())
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("router %d: %w", r.id, err)
+	}
+	return nil
+}

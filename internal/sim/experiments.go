@@ -167,6 +167,8 @@ var Experiments = []Experiment{
 	{"E24", "Chaos soak with invariant watchdog", "Sec. 3-4 claims under chaos", E24ChaosSoak},
 	{"E25", "Latency decomposition: queue/retry/flight/drain phases", "Sec. 6.1 latency anatomy", E25LatencyDecomposition},
 	{"E26", "Buffer occupancy time-series around the saturation knee", "Sec. 6.1 congestion dynamics", E26OccupancySeries},
+	{"E27", "Trace-driven workload replay latency", "Service extension (Sec. 6.1 workloads)", E27TraceReplay},
+	{"E28", "Kill-resume equivalence: checkpoint/restore vs unbroken run", "Checkpoint subsystem validation", E28KillResume},
 }
 
 // ChaosExperiments lists the chaos/robustness subset selected by

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"bytes"
+
+	"crnet/internal/faults"
+	"crnet/internal/network"
+	"crnet/internal/stats"
+	"crnet/internal/traffic"
+	"crnet/internal/workload"
+)
+
+// E27TraceReplay measures end-to-end latency under materialized
+// trace-driven workloads — the service path (internal/workload +
+// sim.Service) rather than the open-loop generators the other
+// experiments use. Each trace is generated once and replayed through
+// both CR and FCR-with-corruption, so the two schemes see literally
+// the same message sequence. Statistics cover the full run (no warmup
+// split: a replay is a finite artifact, not a stationary process). The
+// stream hash pins the delivery stream byte-for-byte in results files.
+func E27TraceReplay(s Scale) *stats.Table {
+	t := stats.NewTable("E27: trace-driven workload replay (load 0.4, full-run stats)",
+		"workload", "scheme", "delivered", "corrupt", "avg_latency", "p95", "p99", "stream_hash")
+	topo := s.torus()
+	cycles := s.Warmup + s.Measure
+	capacity := traffic.CapacityFlitsPerNode(topo)
+
+	gens := []struct {
+		name string
+		gen  func(workload.TraceSpec) *workload.Trace
+	}{
+		{"diurnal", workload.GenDiurnal},
+		{"hotspot", workload.GenHotspot},
+		{"bursty", workload.GenBursty},
+		{"incast", workload.GenIncast},
+	}
+	nets := []struct {
+		name string
+		cfg  func() network.Config
+	}{
+		{"CR", s.crNet},
+		{"FCR+corrupt", func() network.Config {
+			c := s.fcrNet()
+			c.TransientRate = 1e-4
+			return c
+		}},
+	}
+	for _, g := range gens {
+		spec := workload.TraceFor(topo, 0.4, s.MsgLen, cycles, s.Seed+101, capacity)
+		trace := g.gen(spec)
+		for _, nc := range nets {
+			svc, err := NewService(ServiceConfig{Net: nc.cfg(), Trace: trace, Loop: true})
+			if err != nil {
+				panic(err)
+			}
+			if err := svc.Step(cycles); err != nil {
+				panic(err)
+			}
+			st := svc.Status()
+			t.AddRow(g.name, nc.name, st.Delivered, st.Corrupt,
+				st.AvgLatency, st.P95Latency, st.P99Latency, st.StreamHash)
+		}
+	}
+	return t
+}
+
+// E28KillResume validates the checkpoint/restore subsystem end to end:
+// for each scenario, an unbroken run races a run that is checkpointed
+// at cycles/3, restored into a freshly built service, and continued.
+// The verdict is PASS only if the delivery stream hashes AND the full
+// serialized final states are byte-identical — under clean traffic,
+// under transient corruption, and under a permanent fault timeline
+// whose events fire on both sides of the checkpoint.
+func E28KillResume(s Scale) *stats.Table {
+	t := stats.NewTable("E28: kill-resume equivalence — restored run vs unbroken run",
+		"scenario", "ckpt_cycle", "cycles", "delivered", "stream_hash", "verdict")
+	topo := s.torus()
+	cycles := s.Measure
+	ckptAt := cycles / 3
+	capacity := traffic.CapacityFlitsPerNode(topo)
+	spec := func(seed uint64) workload.TraceSpec {
+		return workload.TraceFor(topo, 0.3, s.MsgLen, cycles, seed, capacity)
+	}
+
+	scenarios := []struct {
+		name  string
+		build func() ServiceConfig
+	}{
+		{"uniform/CR", func() ServiceConfig {
+			return ServiceConfig{Net: s.crNet(), Trace: workload.GenUniform(spec(s.Seed + 7)), Loop: true}
+		}},
+		{"hotspot/FCR+corrupt", func() ServiceConfig {
+			c := s.fcrNet()
+			c.TransientRate = 2e-4
+			return ServiceConfig{Net: c, Trace: workload.GenHotspot(spec(s.Seed + 8)), Loop: true}
+		}},
+		{"bursty/FCR+faults", func() ServiceConfig {
+			c := s.fcrNet()
+			c.TransientRate = 2e-4
+			// A fresh Schedule per call: the cursor is mutable run state,
+			// and the timeline straddles the checkpoint cycle.
+			c.Faults = faults.NewSchedule([]faults.Event{
+				{Cycle: cycles / 4, Link: faults.LinkID{Node: 1, Port: 0}},
+				{Cycle: cycles / 2, Link: faults.LinkID{Node: 1, Port: 0}, Up: true},
+			})
+			return ServiceConfig{Net: c, Trace: workload.GenBursty(spec(s.Seed + 9)), Loop: true,
+				SampleEvery: 500}
+		}},
+	}
+	for _, sc := range scenarios {
+		ref := mustService(sc.build())
+		mustStep(ref, cycles)
+
+		first := mustService(sc.build())
+		mustStep(first, ckptAt)
+		ckpt := first.Save()
+
+		resumed := mustService(sc.build())
+		if err := resumed.Restore(ckpt); err != nil {
+			panic(err)
+		}
+		mustStep(resumed, cycles-ckptAt)
+
+		verdict := "PASS"
+		if ref.StreamHash() != resumed.StreamHash() || !bytes.Equal(ref.Save(), resumed.Save()) {
+			verdict = "FAIL"
+		}
+		st := ref.Status()
+		t.AddRow(sc.name, ckptAt, cycles, st.Delivered, st.StreamHash, verdict)
+	}
+	return t
+}
+
+func mustService(cfg ServiceConfig) *Service {
+	s, err := NewService(cfg)
+	if err != nil {
+		panic(err) // experiment configurations are static; errors are bugs
+	}
+	return s
+}
+
+func mustStep(s *Service, n int64) {
+	if err := s.Step(n); err != nil {
+		panic(err)
+	}
+}

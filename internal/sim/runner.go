@@ -186,8 +186,10 @@ func takeSnapshot(net *network.Network) snapshot {
 
 // buildSampler wires the observability registry to net — tracer-fed
 // event counters plus polled occupancy/utilization gauges — and returns
-// a sampler ticking it every cfg.SampleEvery cycles.
-func buildSampler(net *network.Network, cfg Config) *obs.Sampler {
+// the registry alongside a sampler ticking it every `every` cycles. The
+// registry is returned separately so long-running services can expose
+// it as a live metrics endpoint and checkpoint its counter state.
+func buildSampler(net *network.Network, every int64, sampleCap int) (*obs.Registry, *obs.Sampler) {
 	reg := obs.NewRegistry()
 
 	injected := reg.Counter("injected_flits")
@@ -238,11 +240,11 @@ func buildSampler(net *network.Network, cfg Config) *obs.Sampler {
 		return 0
 	})
 
-	cap := cfg.SampleCap
+	cap := sampleCap
 	if cap <= 0 {
 		cap = 512
 	}
-	return obs.NewSampler(reg, cfg.SampleEvery, cap)
+	return reg, obs.NewSampler(reg, every, cap)
 }
 
 // Run executes one simulation and returns its metrics. A non-nil error
@@ -287,7 +289,7 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 		hooks.Monitor = dog
 	}
 	if cfg.SampleEvery > 0 {
-		sampler = buildSampler(net, cfg)
+		_, sampler = buildSampler(net, cfg.SampleEvery, cfg.SampleCap)
 		hooks.Observer = sampler.Tick
 	}
 	net.SetHooks(hooks)
