@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint staticcheck race race-harness chaos bench bench-kernel alloc-gate snapshot-pin results profile
+.PHONY: verify build test vet lint staticcheck race race-harness chaos fuzz bench bench-kernel alloc-gate snapshot-pin results profile
 
 # Tier-1: build + tests, then vet, then the custom static-invariant
 # suite, then the cycle-kernel allocation gate, then the worker pool's
@@ -53,11 +53,21 @@ race:
 race-harness:
 	$(GO) test -race ./internal/harness/... ./internal/sim/...
 
-# The E24 chaos soak (random fail/repair timeline + invariant watchdog)
-# under the race detector with a pinned scheduler width, so the step
-# loop's monitor hook is exercised with real goroutine interleaving.
+# The chaos soaks (random fail/repair timeline, the load-coupled hazard
+# process, and the graceful-degradation controller's recovery arc, all
+# with the invariant watchdog) under the race detector with a pinned
+# scheduler width, so the step loop's monitor hook is exercised with
+# real goroutine interleaving.
 chaos:
-	GOMAXPROCS=4 $(GO) test -race -run 'TestChaosSoak|TestSweepSurvives|TestSweepPointTimeout' ./internal/sim/
+	GOMAXPROCS=4 $(GO) test -race -run 'TestChaosSoak|TestSweepSurvives|TestSweepPointTimeout|TestDegradeControllerRecovers|TestHazardNetworkDeterminism' ./internal/sim/ ./internal/network/
+
+# Short-budget fuzz pass over the checkpoint-container reader: arbitrary
+# bytes must yield either a valid canonical container or a *FormatError,
+# never a panic or a partial payload. CI runs this budget on every
+# merge; crank FUZZTIME locally for a deeper soak.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/snapshot/ -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) -run '^FuzzDecode$$'
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

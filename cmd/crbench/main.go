@@ -4,7 +4,8 @@
 // corresponding figure plots and prints the series as an aligned table
 // (or CSV with -csv). -scale quick runs an 8x8 torus with short windows;
 // -scale full reproduces the paper's 16x16 torus. -chaos selects the
-// chaos/robustness subset (E22-E24).
+// chaos/robustness subset (E22-E24, E29-E30); -bisect runs checkpoint
+// bisection forensics (see sim.Bisect) instead of experiments.
 //
 // Grid-based experiments run their sweep points over a worker pool
 // (-parallel, default all cores); results are byte-identical for every
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"crnet/internal/harness"
+	"crnet/internal/invariant"
 	"crnet/internal/sim"
 )
 
@@ -101,19 +103,24 @@ func main() {
 // poisons any perf comparison built on it.
 func run() (code int) {
 	var (
-		expID    = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
-		chaos    = flag.Bool("chaos", false, "run the chaos/robustness experiments (E22-E24); overrides -exp")
-		scale    = flag.String("scale", "quick", "quick (8x8, fast) or full (16x16, paper scale)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial; results identical)")
-		timeout  = flag.Duration("point-timeout", 0, "per-sweep-point wall-clock budget (0 = unbounded); exceeded points are recorded as errors")
-		jsonOut  = flag.String("json", "", "also write a versioned JSON results artifact to this file")
-		quiet    = flag.Bool("quiet", false, "suppress progress/timing output on stderr")
-		tsDir    = flag.String("timeseries", "", "write sampled metric time-series as CSV files into this directory (experiments that sample, e.g. E26)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (forces -parallel 1)")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file (forces -parallel 1)")
-		traceOut = flag.String("trace", "", "write a runtime execution trace to this file (forces -parallel 1)")
+		expID         = flag.String("exp", "all", "experiment ids (e.g. E3 or E1,E5,E21) or \"all\"")
+		chaos         = flag.Bool("chaos", false, "run the chaos/robustness experiments (E22-E24, E29-E30); overrides -exp")
+		scale         = flag.String("scale", "quick", "quick (8x8, fast) or full (16x16, paper scale)")
+		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list          = flag.Bool("list", false, "list experiments and exit")
+		parallel      = flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial; results identical)")
+		timeout       = flag.Duration("point-timeout", 0, "per-sweep-point wall-clock budget (0 = unbounded); exceeded points are recorded as errors")
+		jsonOut       = flag.String("json", "", "also write a versioned JSON results artifact to this file")
+		quiet         = flag.Bool("quiet", false, "suppress progress/timing output on stderr")
+		tsDir         = flag.String("timeseries", "", "write sampled metric time-series as CSV files into this directory (experiments that sample, e.g. E26)")
+		bisect        = flag.Bool("bisect", false, "checkpoint-bisection forensics on the canonical chaos service instead of experiments")
+		bisectHorizon = flag.Int64("bisect-horizon", 20000, "detection-pass length in cycles for -bisect")
+		bisectCkpt    = flag.Int64("bisect-ckpt", 1024, "checkpoint grid spacing in cycles for -bisect")
+		bisectHops    = flag.Int("bisect-hop-budget", 0, "watchdog hop budget for -bisect (0 = honest default; shrink it to plant a tripwire)")
+		bisectWindow  = flag.Int("bisect-deadlock-window", 0, "watchdog deadlock window for -bisect (0 = honest default)")
+		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile to this file (forces -parallel 1)")
+		memProf       = flag.String("memprofile", "", "write a heap profile to this file (forces -parallel 1)")
+		traceOut      = flag.String("trace", "", "write a runtime execution trace to this file (forces -parallel 1)")
 	)
 	flag.Parse()
 
@@ -211,6 +218,24 @@ func run() (code int) {
 				fail(err)
 			}
 		}()
+	}
+
+	if *bisect {
+		rep, err := sim.Bisect(sim.BisectConfig{
+			Service:         sim.DefaultBisectService(s),
+			Watchdog:        invariant.Config{HopBudget: *bisectHops, DeadlockWindow: *bisectWindow},
+			Horizon:         *bisectHorizon,
+			CheckpointEvery: *bisectCkpt,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crbench: bisect: %v\n", err)
+			return 1
+		}
+		fmt.Println(rep.String())
+		if rep.Violation != nil {
+			return 1
+		}
+		return 0
 	}
 
 	sel := *expID

@@ -10,11 +10,19 @@
 // /status (JSON summary), /metrics (current registry values, text) and
 // /series (sampled time-series, JSON).
 //
+// A load-coupled failure process (-hazard-lambda0/-hazard-alpha) and
+// the graceful-degradation controller (-slo-p95) turn the daemon into
+// an availability testbed: /status reports the controller state
+// (healthy/degraded/shedding), shed counts, hazard fault events and
+// the served-traffic availability ratio.
+//
 // Examples:
 //
 //	crsimd -k 8 -workload diurnal -cycles 50000 -checkpoint-dir ckpt
 //	crsimd -k 8 -workload hotspot -protocol fcr -fault-rate 1e-4 \
 //	    -checkpoint-dir ckpt -checkpoint-every 5000 -listen 127.0.0.1:8080
+//	crsimd -k 8 -protocol fcr -hazard-lambda0 1e-6 -hazard-alpha 6 \
+//	    -slo-p95 800 -fail-budget 4 -cycles 100000 -listen 127.0.0.1:8080
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"syscall"
 
 	"crnet/internal/core"
+	"crnet/internal/faults"
 	"crnet/internal/network"
 	"crnet/internal/routing"
 	"crnet/internal/sim"
@@ -72,6 +81,14 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		dims      = fs.Int("dims", 2, "dimensions (or hypercube order)")
 		protocol  = fs.String("protocol", "cr", "protocol: cr or fcr")
 		faultRate = fs.Float64("fault-rate", 0, "transient corruption probability per flit-hop")
+
+		hazardLambda0 = fs.Float64("hazard-lambda0", 0, "base link failure intensity per cycle for the load-coupled hazard (0: hazard off)")
+		hazardAlpha   = fs.Float64("hazard-alpha", 0, "load-coupling exponent: failure intensity = lambda0 * exp(alpha * utilization)")
+		hazardMTTR    = fs.Float64("hazard-mttr", 2000, "mean link repair time in cycles for hazard failures")
+
+		sloP95     = fs.Int64("slo-p95", 0, "delivered-latency p95 SLO in cycles; enables the graceful-degradation controller (0: off)")
+		sloWindow  = fs.Int64("slo-window", 512, "degradation control-window length in cycles")
+		failBudget = fs.Int64("fail-budget", 0, "fault events per window that breach the SLO (0: failure-density signal off)")
 
 		workloadName = fs.String("workload", "uniform", "trace workload: uniform, bursty, diurnal, hotspot, incast, permstorm")
 		tracePath    = fs.String("trace", "", "replay a binary trace file instead of generating one")
@@ -121,6 +138,14 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
+	if *hazardLambda0 > 0 {
+		cfg.Hazard = &faults.HazardSpec{
+			LinkLambda0: *hazardLambda0,
+			Alpha:       *hazardAlpha,
+			LinkMTTR:    *hazardMTTR,
+			Seed:        *seed,
+		}
+	}
 
 	var trace *workload.Trace
 	if *tracePath != "" {
@@ -143,12 +168,21 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		trace = gen(spec)
 	}
 
+	var degrade *sim.DegradeConfig
+	if *sloP95 > 0 {
+		degrade = &sim.DegradeConfig{
+			LatencySLO: *sloP95,
+			Window:     *sloWindow,
+			FailBudget: *failBudget,
+		}
+	}
 	svc, err := sim.NewService(sim.ServiceConfig{
 		Net:         cfg,
 		Trace:       trace,
 		Loop:        true,
 		SampleEvery: *sampleEvery,
 		SampleCap:   *sampleCap,
+		Degrade:     degrade,
 	})
 	if err != nil {
 		return err
@@ -236,6 +270,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	st := svc.Status()
 	fmt.Fprintf(stdout, "done cycle=%d delivered=%d corrupt=%d avg_latency=%.2f p95=%d stream_hash=%s\n",
 		st.Cycle, st.Delivered, st.Corrupt, st.AvgLatency, st.P95Latency, st.StreamHash)
+	if st.Degrade != "" {
+		fmt.Fprintf(stdout, "degrade state=%s shed=%d breached_windows=%d fault_events=%d availability=%.6f\n",
+			st.Degrade, st.Shed, st.BreachedWindows, st.FaultEvents, st.Availability)
+	}
 	return nil
 }
 

@@ -179,3 +179,48 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatalf("/series = %d:\n%s", rec.Code, rec.Body.String())
 	}
 }
+
+// TestResumeWithHazardDegradeFlags is the binary-level resume pin for
+// the availability subsystems: with the load-coupled hazard and the
+// degradation controller both enabled by flags, a checkpointed-and-
+// restarted run reproduces the unbroken run's delivery stream hash and
+// final degradation line exactly.
+func TestResumeWithHazardDegradeFlags(t *testing.T) {
+	base := []string{"-k", "4", "-workload", "uniform", "-protocol", "fcr",
+		"-load", "0.5", "-span", "500", "-seed", "19",
+		"-hazard-lambda0", "2e-5", "-hazard-alpha", "5", "-hazard-mttr", "200",
+		"-slo-p95", "250", "-slo-window", "128", "-fail-budget", "4",
+		"-batch", "100", "-checkpoint-every", "300", "-sample-every", "50"}
+
+	dir := t.TempDir()
+	runArgs(t, append(base, "-cycles", "600", "-checkpoint-dir", dir)...)
+	out2 := runArgs(t, append(base, "-cycles", "2000", "-checkpoint-dir", dir)...)
+	if !strings.Contains(out2, "restored cycle=600") {
+		t.Fatalf("second run did not restore:\n%s", out2)
+	}
+	unbroken := runArgs(t, append(base, "-cycles", "2000", "-checkpoint-dir", t.TempDir())...)
+
+	h2, hu := hashLine.FindStringSubmatch(out2), hashLine.FindStringSubmatch(unbroken)
+	if h2 == nil || hu == nil {
+		t.Fatalf("missing stream_hash lines:\n%s\n%s", out2, unbroken)
+	}
+	if h2[1] != hu[1] {
+		t.Fatalf("resumed stream hash %s != unbroken %s", h2[1], hu[1])
+	}
+
+	degLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "degrade state=") {
+				return line
+			}
+		}
+		t.Fatalf("no degrade line:\n%s", out)
+		return ""
+	}
+	if d2, du := degLine(out2), degLine(unbroken); d2 != du {
+		t.Fatalf("degradation summary diverged:\n  resumed:  %s\n  unbroken: %s", d2, du)
+	}
+	if !strings.Contains(degLine(unbroken), "fault_events=") {
+		t.Fatal("degrade line missing fault_events")
+	}
+}

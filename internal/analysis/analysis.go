@@ -80,8 +80,9 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // corePrefixes are the simulation-core packages: everything that runs
 // inside (or aggregates) the cycle loop and therefore must be
 // deterministic, cycle-timed and seed-driven. harness, cmd/* and the
-// faults/traffic generators' wall-clock-free subsets are deliberately
-// absent: harness measures real wall time and owns os-level concerns.
+// traffic generators' wall-clock-free subsets are deliberately absent:
+// harness measures real wall time and owns os-level concerns. faults is
+// in: the load-coupled hazard process draws inside the cycle loop.
 var corePrefixes = []string{
 	"crnet/internal/core",
 	"crnet/internal/router",
@@ -92,6 +93,7 @@ var corePrefixes = []string{
 	"crnet/internal/obs",
 	"crnet/internal/invariant",
 	"crnet/internal/snapshot",
+	"crnet/internal/faults",
 }
 
 // CorePackage reports whether pkgPath is (or, for analyzer test

@@ -1,0 +1,72 @@
+package core
+
+import "crnet/internal/snapshot"
+
+// Throttle is a deterministic admission gate: out of every den offers
+// it admits exactly num, spread as evenly as the integer lattice allows
+// (error-diffusion, the one-dimensional Bresenham rule). No randomness
+// is involved, so two runs that offer the same sequence admit the same
+// subset — the property the degradation controller needs to keep sweeps
+// byte-reproducible while shedding load.
+type Throttle struct {
+	num, den int64
+	acc      int64
+}
+
+// SetRate sets the admitted fraction to num/den. num is clamped into
+// [0, den]; den <= 0 (or num == den) means admit everything. The
+// accumulator is clamped into the new lattice so a rate change cannot
+// manufacture a burst of admissions.
+func (t *Throttle) SetRate(num, den int64) {
+	if den <= 0 {
+		num, den = 1, 1
+	}
+	if num < 0 {
+		num = 0
+	}
+	if num > den {
+		num = den
+	}
+	t.num, t.den = num, den
+	if t.acc >= den {
+		t.acc = den - 1
+	}
+}
+
+// Rate returns the current admitted fraction as (num, den); (0, 0)
+// means the throttle was never configured and admits everything.
+func (t *Throttle) Rate() (num, den int64) { return t.num, t.den }
+
+// Allow consumes one offer and reports whether it is admitted.
+//
+//cr:hotpath per-submission admission decision while degraded
+func (t *Throttle) Allow() bool {
+	if t.den <= 0 || t.num >= t.den {
+		return true
+	}
+	t.acc += t.num
+	if t.acc >= t.den {
+		t.acc -= t.den
+		return true
+	}
+	return false
+}
+
+// SaveState serializes the throttle (rate and accumulator).
+func (t *Throttle) SaveState(e *snapshot.Encoder) {
+	e.Varint(t.num)
+	e.Varint(t.den)
+	e.Varint(t.acc)
+}
+
+// LoadState restores a state saved by SaveState.
+func (t *Throttle) LoadState(d *snapshot.Decoder) error {
+	num := d.Varint()
+	den := d.Varint()
+	acc := d.Varint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	t.num, t.den, t.acc = num, den, acc
+	return nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"crnet/internal/snapshot"
+)
+
+func TestThrottleZeroValueAdmitsAll(t *testing.T) {
+	var th Throttle
+	for i := 0; i < 100; i++ {
+		if !th.Allow() {
+			t.Fatalf("zero-value throttle rejected offer %d", i)
+		}
+	}
+}
+
+func TestThrottleExactFraction(t *testing.T) {
+	cases := []struct{ num, den int64 }{
+		{1, 1}, {0, 1}, {1, 2}, {7, 10}, {2, 5}, {999, 1000},
+	}
+	for _, c := range cases {
+		var th Throttle
+		th.SetRate(c.num, c.den)
+		var admitted int64
+		const offers = 10 * 1000
+		for i := 0; i < offers; i++ {
+			if th.Allow() {
+				admitted++
+			}
+		}
+		want := offers * c.num / c.den
+		if admitted != want {
+			t.Errorf("rate %d/%d: admitted %d of %d, want %d", c.num, c.den, admitted, offers, want)
+		}
+	}
+}
+
+func TestThrottleEvenSpread(t *testing.T) {
+	// At 1/2 no two consecutive offers may both be admitted and no two
+	// consecutive offers may both be rejected.
+	var th Throttle
+	th.SetRate(1, 2)
+	prev := th.Allow()
+	for i := 0; i < 1000; i++ {
+		cur := th.Allow()
+		if cur == prev {
+			t.Fatalf("offer %d: 1/2 throttle produced a run (%t, %t)", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestThrottleClamps(t *testing.T) {
+	var th Throttle
+	th.SetRate(-5, 10)
+	if th.Allow() {
+		t.Fatal("negative numerator admitted")
+	}
+	th.SetRate(15, 10)
+	if !th.Allow() {
+		t.Fatal("numerator above denominator rejected")
+	}
+	th.SetRate(3, 0)
+	if !th.Allow() {
+		t.Fatal("zero denominator rejected")
+	}
+}
+
+func TestThrottleStateRoundTrip(t *testing.T) {
+	var a Throttle
+	a.SetRate(7, 10)
+	for i := 0; i < 137; i++ {
+		a.Allow()
+	}
+	var e snapshot.Encoder
+	a.SaveState(&e)
+
+	var b Throttle
+	d := snapshot.NewDecoder(e.Bytes())
+	if err := b.LoadState(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a.Allow() != b.Allow() {
+			t.Fatalf("restored throttle diverged at offer %d", i)
+		}
+	}
+}

@@ -127,6 +127,16 @@ func (w *Watchdog) AfterStep(n *network.Network) error {
 	if n.Cycle()%int64(w.cfg.CheckEvery) != 0 {
 		return nil
 	}
+	return w.Audit(n)
+}
+
+// Audit runs one full scan immediately, regardless of the scan
+// schedule, and returns the first new violation found (nil when the
+// network passes every check). AfterStep calls it on schedule; the
+// checkpoint bisector (sim.Bisect) calls it directly against restored
+// snapshots, where the network is at an arbitrary cycle and no monitor
+// is installed.
+func (w *Watchdog) Audit(n *network.Network) error {
 	w.scans++
 	if w.hopBudget == 0 {
 		w.hopBudget = w.cfg.HopBudget

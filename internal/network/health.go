@@ -25,8 +25,21 @@ type Monitor interface {
 func (n *Network) SetMonitor(m Monitor) { n.hooks.Monitor = m }
 
 // Health returns the first error the monitor reported, or nil while the
-// run is healthy. Once set it never clears.
+// run is healthy. Once set it never clears on its own: stepping,
+// snapshot restore and Reset all preserve (or refuse to discard) the
+// latch, so a violation cannot be lost by reuse. ClearHealth is the one
+// explicit acknowledgement path.
 func (n *Network) Health() error { return n.health }
+
+// ClearHealth acknowledges and clears the health latch, returning the
+// violation that was latched (nil if the network was healthy). It is
+// the required prelude to Reset on an unhealthy network: the caller
+// provably saw the error before discarding the state that produced it.
+func (n *Network) ClearHealth() error {
+	err := n.health
+	n.health = nil
+	return err
+}
 
 // FlitLedger is a snapshot of the network-wide flit conservation
 // accounting. Every flit that enters at an injection port must leave at
@@ -83,6 +96,29 @@ func (n *Network) Ledger() FlitLedger {
 // uses it to decide whether a message's lifetime overlapped a topology
 // change.
 func (n *Network) LastFaultCycle() int64 { return n.lastFault }
+
+// FaultEventsApplied returns how many failure events (timeline plus
+// hazard; repairs excluded) have been applied so far. The degradation
+// controller reads it to bound failure density per control window.
+func (n *Network) FaultEventsApplied() int64 { return n.failEvents }
+
+// HazardDown returns how many entities the load-coupled hazard process
+// currently holds down (0 without a hazard).
+func (n *Network) HazardDown() int {
+	if n.hazard == nil {
+		return 0
+	}
+	return n.hazard.Down()
+}
+
+// HazardCounts returns the hazard process's cumulative failure and
+// repair counts (0, 0 without a hazard).
+func (n *Network) HazardCounts() (failures, repairs int64) {
+	if n.hazard == nil {
+		return 0, 0
+	}
+	return n.hazard.Failures(), n.hazard.Repairs()
+}
 
 // Connected reports whether dst is reachable from src over currently-up
 // links (BFS). Used by the delivery-obligation check: a message may

@@ -89,6 +89,13 @@ type Config struct {
 	// Faults schedules the permanent-fault timeline: link and node
 	// failures and repairs.
 	Faults *faults.Schedule
+	// Hazard, when non-nil, adds a load-coupled failure-intensity
+	// process on top of the scheduled timeline: each link and router
+	// fails at rate lambda0*exp(alpha*load) with load sampled from the
+	// live utilization signals (see faults.HazardSpec). The spec is
+	// immutable and safe to share; each network builds its own stateful
+	// process from it.
+	Hazard *faults.HazardSpec
 
 	// Check enables router invariant verification every cycle (slow;
 	// tests only).
@@ -226,12 +233,22 @@ type Network struct {
 	// phases; the soak test cross-checks the two cycle by cycle.
 	bruteForce bool
 
+	// Load-coupled failure process (nil unless cfg.Hazard is set).
+	// hazardLinks fixes the entity order; hazardFlits/hazardLoad are
+	// scratch vectors refilled from the live counters on evaluation
+	// cycles only, so off-grid cycles pay one Due check.
+	hazard      *faults.Hazard
+	hazardLinks []faults.LinkID
+	hazardFlits []int64
+	hazardLoad  []float64
+
 	tracer Tracer
 	hooks  Hooks
 	health error
 
 	lastProgress  int64
 	lastFault     int64 // cycle of the most recent fault-timeline event
+	failEvents    int64 // fault *failure* events applied (timeline + hazard)
 	killsDropped  int64 // signals dropped at dead links
 	flitsDropped  int64 // in-flight flits lost to link death
 	flitsDegraded int64 // transient corruptions applied on links
@@ -284,6 +301,16 @@ func New(cfg Config) *Network {
 				toPort: int(topo.ReversePort(node, topology.Port(p))),
 			}
 		}
+	}
+	if cfg.Hazard != nil {
+		n.hazardLinks = n.Links()
+		ids := make([]int, nodes)
+		for id := range ids {
+			ids[id] = id
+		}
+		n.hazard = faults.NewHazard(*cfg.Hazard, n.hazardLinks, ids)
+		n.hazardFlits = make([]int64, len(n.hazardLinks))
+		n.hazardLoad = make([]float64, nodes)
 	}
 	return n
 }
@@ -373,7 +400,15 @@ func (n *Network) DrainDeliveries() []core.Delivery {
 // rewound. Installed hooks and the tracer are kept. A reset network is
 // bit-for-bit equivalent to a freshly constructed one: identical
 // traffic yields identical results (see TestResetDeterminism).
+//
+// Reset panics if the network is latched unhealthy: a watchdog
+// violation must not be silently discarded by reuse. Callers that mean
+// to reuse the network anyway must acknowledge the violation first via
+// ClearHealth.
 func (n *Network) Reset() {
+	if n.health != nil {
+		panic(fmt.Sprintf("network: Reset on a network latched unhealthy (%v); call ClearHealth to acknowledge", n.health))
+	}
 	n.cycle = 0
 	n.signals = n.signals[:0]
 	n.sigNow = n.sigNow[:0]
@@ -385,8 +420,12 @@ func (n *Network) Reset() {
 	n.health = nil
 	n.lastProgress = 0
 	n.lastFault = -1
+	n.failEvents = 0
 	n.killsDropped, n.flitsDropped, n.flitsDegraded = 0, 0, 0
 	n.flitsInjected, n.flitsEjected = 0, 0
+	if n.hazard != nil {
+		n.hazard.Rewind()
+	}
 	for id := range n.links {
 		for p := range n.links[id] {
 			l := &n.links[id][p]

@@ -48,6 +48,9 @@ func (n *Network) ConfigFingerprint() uint64 {
 	if c.Burst != nil {
 		fmt.Fprintf(h, " burst=%+v", *c.Burst)
 	}
+	if c.Hazard != nil {
+		fmt.Fprintf(h, " hazard=%+v", *c.Hazard)
+	}
 	for _, ev := range c.Faults.Events() {
 		fmt.Fprintf(h, " %s", ev)
 	}
@@ -126,6 +129,11 @@ func (n *Network) SaveState(e *snapshot.Encoder) {
 	}
 
 	n.corrupter.SaveState(e)
+	if n.hazard != nil {
+		// Presence is config-determined (cfg.Hazard), which the
+		// fingerprint already pins, so no presence flag is needed.
+		n.hazard.SaveState(e)
+	}
 	e.Int(n.hooks.Faults.Cursor())
 	if n.health != nil {
 		e.String(n.health.Error())
@@ -139,6 +147,7 @@ func (n *Network) SaveState(e *snapshot.Encoder) {
 	e.Varint(n.flitsDegraded)
 	e.Varint(n.flitsInjected)
 	e.Varint(n.flitsEjected)
+	e.Varint(n.failEvents)
 
 	for id := range n.routers {
 		n.routers[id].SaveState(e)
@@ -320,6 +329,11 @@ func (n *Network) LoadState(d *snapshot.Decoder) error {
 	if err := n.corrupter.LoadState(d); err != nil {
 		return fmt.Errorf("network: corrupter: %w", err)
 	}
+	if n.hazard != nil {
+		if err := n.hazard.LoadState(d); err != nil {
+			return fmt.Errorf("network: hazard: %w", err)
+		}
+	}
 	cursor := d.Int()
 	if err := d.Err(); err != nil {
 		return err
@@ -339,6 +353,7 @@ func (n *Network) LoadState(d *snapshot.Decoder) error {
 	n.flitsDegraded = d.Varint()
 	n.flitsInjected = d.Varint()
 	n.flitsEjected = d.Varint()
+	n.failEvents = d.Varint()
 	if err := d.Err(); err != nil {
 		return err
 	}

@@ -120,22 +120,61 @@ func (n *Network) arrive(id, p int, l *link) bool {
 	return true
 }
 
-// phaseFaultEvents applies the scheduled fault timeline: link and node
-// failures and repairs. A node event fails (or repairs) every link
-// incident to the node, both directions; causes are reference counted,
-// so a link is up only when every cause of its death has been repaired.
+// phaseFaultEvents applies the scheduled fault timeline, then — on its
+// evaluation grid — the load-coupled hazard process. Timeline events
+// always land before hazard events at the same cycle, and the hazard
+// samples utilization signals collected this cycle, so the composite
+// event order is deterministic.
+//
+//cr:hotpath fault-events phase: one Pop plus one Due check per cycle
 func (n *Network) phaseFaultEvents() {
 	for _, ev := range n.hooks.Faults.Pop(n.cycle) {
-		n.lastFault = n.cycle
-		switch {
-		case ev.Kind == faults.NodeEvent && !ev.Up:
-			n.forEachIncident(ev.Node, n.failLink)
-		case ev.Kind == faults.NodeEvent && ev.Up:
-			n.forEachIncident(ev.Node, n.repairLink)
-		case ev.Up:
-			n.repairLink(ev.Link.Node, ev.Link.Port)
-		default:
-			n.failLink(ev.Link.Node, ev.Link.Port)
+		n.applyFaultEvent(ev)
+	}
+	if n.hazard != nil && n.hazard.Due(n.cycle) {
+		n.collectHazardSignals()
+		for _, ev := range n.hazard.Evaluate(n.cycle, n.hazardFlits, n.hazardLoad) {
+			n.applyFaultEvent(ev)
+		}
+	}
+}
+
+// applyFaultEvent applies one link or node failure/repair. A node event
+// fails (or repairs) every link incident to the node, both directions;
+// causes are reference counted, so a link is up only when every cause
+// of its death has been repaired.
+func (n *Network) applyFaultEvent(ev faults.Event) {
+	n.lastFault = n.cycle
+	if !ev.Up {
+		n.failEvents++
+	}
+	switch {
+	case ev.Kind == faults.NodeEvent && !ev.Up:
+		n.forEachIncident(ev.Node, n.failLink)
+	case ev.Kind == faults.NodeEvent && ev.Up:
+		n.forEachIncident(ev.Node, n.repairLink)
+	case ev.Up:
+		n.repairLink(ev.Link.Node, ev.Link.Port)
+	default:
+		n.failLink(ev.Link.Node, ev.Link.Port)
+	}
+}
+
+// collectHazardSignals refills the hazard scratch vectors from the live
+// counters: cumulative traversals per link (the hazard differences them
+// into a window utilization) and the buffer-occupancy fraction per
+// router. Runs only on hazard evaluation cycles.
+//
+//cr:hotpath hazard signal collection on the evaluation grid
+func (n *Network) collectHazardSignals() {
+	for i, id := range n.hazardLinks {
+		n.hazardFlits[i] = n.links[id.Node][id.Port].flits
+	}
+	for id, r := range n.routers {
+		if cap := r.BufferCapacity(); cap > 0 {
+			n.hazardLoad[id] = float64(r.BufferedFlits()) / float64(cap)
+		} else {
+			n.hazardLoad[id] = 0
 		}
 	}
 }

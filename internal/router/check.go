@@ -77,6 +77,11 @@ func (r *Router) InputActive(p, vc int) bool { return r.in(p, vc).active }
 // incrementally (CheckInvariants verifies it against the per-VC sums).
 func (r *Router) BufferedFlits() int { return r.buffered }
 
+// BufferCapacity returns the total flit capacity across every input VC
+// (network and injection buffers): the denominator that turns
+// BufferedFlits into an occupancy fraction.
+func (r *Router) BufferCapacity() int { return len(r.arena) }
+
 // ActiveWormCount returns how many input VCs currently host a worm.
 func (r *Router) ActiveWormCount() int {
 	n := 0

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+
+	"crnet/internal/faults"
+	"crnet/internal/harness"
+	"crnet/internal/invariant"
+	"crnet/internal/workload"
+)
+
+// Checkpoint bisection: when a long run trips the invariant watchdog,
+// the interesting question is not "did it break" but "when did it
+// break" — the first cycle at which the network stopped auditing clean.
+// The watchdog only scans every CheckEvery cycles, so the detection
+// cycle can trail the actual corruption by a full scan period, and on
+// a multi-million-cycle soak, re-running from zero with a finer scan
+// is wasteful. Bisect instead records in-memory checkpoints on a fixed
+// grid during the detection pass, then binary-searches the failure
+// cycle: each probe restores the nearest checkpoint at or below the
+// probe cycle, replays forward, and runs a fresh full audit. The
+// search assumes the violation is persistent once present (true for
+// conservation imbalances and latched deadlock windows; livelock hops
+// can in principle clear when a worm dies, in which case Bisect still
+// localizes one clean-to-violating transition).
+
+// BisectConfig parameterizes a forensic bisection run.
+type BisectConfig struct {
+	// Service is the simulation under investigation. It is rebuilt from
+	// scratch for every probe, so the config must be reusable (it is
+	// never mutated).
+	Service ServiceConfig
+	// Watchdog configures the invariant audits, both the detection
+	// monitor and the per-probe audits.
+	Watchdog invariant.Config
+	// Horizon is how many cycles the detection pass runs (required).
+	Horizon int64
+	// CheckpointEvery is the checkpoint grid spacing in cycles
+	// (default 1024). Probe replay cost is bounded by this.
+	CheckpointEvery int64
+}
+
+// BisectReport is the outcome of a bisection.
+type BisectReport struct {
+	// Violation is the watchdog violation that triggered the search;
+	// nil means the detection pass ran the full horizon clean.
+	Violation *invariant.Violation
+	// FirstBad is the first cycle whose full audit fails (only
+	// meaningful when Violation is non-nil). The detection cycle in
+	// Violation.Cycle can be later: detection scans on a period, the
+	// bisection pins the transition to one cycle.
+	FirstBad int64
+	// Probes counts binary-search probes; StepsReplayed the total
+	// cycles re-simulated across them; Checkpoints the snapshots taken
+	// during the detection pass.
+	Probes        int
+	StepsReplayed int64
+	Checkpoints   int
+}
+
+// String renders the one-line forensic summary.
+func (r BisectReport) String() string {
+	if r.Violation == nil {
+		return fmt.Sprintf("bisect: clean run, no violation within horizon (%d checkpoints)", r.Checkpoints)
+	}
+	return fmt.Sprintf("bisect: first %s violation at cycle %d (detected at cycle %d: %s) — %d probes, %d cycles replayed, %d checkpoints",
+		r.Violation.Kind, r.FirstBad, r.Violation.Cycle, r.Violation.Detail,
+		r.Probes, r.StepsReplayed, r.Checkpoints)
+}
+
+// Bisect runs the detection pass and, if it trips, binary-searches the
+// first violating cycle. The returned error covers infrastructure
+// failures (invalid config, a probe that cannot restore); a watchdog
+// violation is a finding, not an error.
+func Bisect(cfg BisectConfig) (BisectReport, error) {
+	var rep BisectReport
+	if cfg.Horizon <= 0 {
+		return rep, fmt.Errorf("sim: bisect requires a positive horizon")
+	}
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1024
+	}
+
+	// Detection pass: watchdog installed as the network monitor, one
+	// in-memory checkpoint per grid point. Step in grid-sized chunks so
+	// checkpoints land exactly on the grid.
+	svc, err := NewService(cfg.Service)
+	if err != nil {
+		return rep, err
+	}
+	dog := invariant.New(cfg.Watchdog)
+	svc.Network().SetMonitor(dog)
+	type checkpointAt struct {
+		cycle int64
+		data  []byte
+	}
+	ckpts := []checkpointAt{{0, svc.Save()}}
+	tripped := false
+	for svc.Cycle() < cfg.Horizon {
+		n := every - svc.Cycle()%every
+		if rem := cfg.Horizon - svc.Cycle(); rem < n {
+			n = rem
+		}
+		if err := svc.Step(n); err != nil {
+			tripped = true
+			break
+		}
+		ckpts = append(ckpts, checkpointAt{svc.Cycle(), svc.Save()})
+	}
+	rep.Checkpoints = len(ckpts)
+	if !tripped {
+		return rep, nil
+	}
+	vs := dog.Violations()
+	if len(vs) == 0 {
+		// Step failed for a non-watchdog reason (e.g. an externally
+		// latched health error); that is not bisectable.
+		return rep, fmt.Errorf("sim: bisect detection stopped without a watchdog violation")
+	}
+	rep.Violation = &vs[0]
+
+	// probe reports whether a fresh full audit fails at cycle c: restore
+	// the nearest checkpoint at or below c, replay forward monitor-free,
+	// audit with a fresh watchdog. Determinism makes the replayed state
+	// bit-identical to the detection pass's state at c.
+	probe := func(c int64) (bool, error) {
+		base := ckpts[0]
+		for i := len(ckpts) - 1; i >= 0; i-- {
+			if ckpts[i].cycle <= c {
+				base = ckpts[i]
+				break
+			}
+		}
+		p, err := NewService(cfg.Service)
+		if err != nil {
+			return false, err
+		}
+		if err := p.Restore(base.data); err != nil {
+			return false, fmt.Errorf("sim: bisect probe restore at cycle %d: %w", base.cycle, err)
+		}
+		if c > base.cycle {
+			if err := p.Step(c - base.cycle); err != nil {
+				return false, fmt.Errorf("sim: bisect probe replay to cycle %d: %w", c, err)
+			}
+		}
+		rep.Probes++
+		rep.StepsReplayed += c - base.cycle
+		return invariant.New(cfg.Watchdog).Audit(p.Network()) != nil, nil
+	}
+
+	// Invariant: audit passes at lo (cycle 0 is a fresh network), fails
+	// at hi (the detection scan that latched health).
+	lo, hi := int64(0), rep.Violation.Cycle
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		bad, err := probe(mid)
+		if err != nil {
+			return rep, err
+		}
+		if bad {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	rep.FirstBad = hi
+	return rep, nil
+}
+
+// DefaultBisectService is the canonical forensic scenario behind
+// crbench -bisect: the chaos fabric (FCR with misrouting under a
+// load-coupled hazard) fed by a looping uniform trace. With the
+// watchdog at its honest defaults the scenario audits clean; tightening
+// the budgets (-bisect-hop-budget, -bisect-deadlock-window) plants a
+// tripwire to demonstrate the forensics on demand.
+func DefaultBisectService(s Scale) ServiceConfig {
+	net := s.fcrNet()
+	net.MisrouteAfter = 2
+	net.MaxDetours = 4
+	net.Hazard = &faults.HazardSpec{
+		LinkLambda0: 2e-6,
+		Alpha:       6,
+		LinkMTTR:    float64(s.Measure / 12),
+		EvalEvery:   64,
+		Seed:        harness.PointSeed(s.Seed, 3100),
+	}
+	return ServiceConfig{
+		Net: net,
+		Trace: workload.GenUniform(workload.TraceSpec{
+			Nodes:  s.K * s.K,
+			Cycles: 2000,
+			Rate:   0.01,
+			MsgLen: s.MsgLen,
+			Seed:   harness.PointSeed(s.Seed, 3101),
+		}),
+		Loop: true,
+	}
+}

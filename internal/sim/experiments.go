@@ -169,11 +169,13 @@ var Experiments = []Experiment{
 	{"E26", "Buffer occupancy time-series around the saturation knee", "Sec. 6.1 congestion dynamics", E26OccupancySeries},
 	{"E27", "Trace-driven workload replay latency", "Service extension (Sec. 6.1 workloads)", E27TraceReplay},
 	{"E28", "Kill-resume equivalence: checkpoint/restore vs unbroken run", "Checkpoint subsystem validation", E28KillResume},
+	{"E29", "Availability vs load under load-coupled failures", "Sec. 6.2 extension (reliability SLO)", E29AvailabilityCurves},
+	{"E30", "Degradation soak: controller on vs off", "Sec. 6.2 extension (graceful degradation)", E30DegradationSoak},
 }
 
 // ChaosExperiments lists the chaos/robustness subset selected by
 // crbench's -chaos flag.
-var ChaosExperiments = []string{"E22", "E23", "E24"}
+var ChaosExperiments = []string{"E22", "E23", "E24", "E29", "E30"}
 
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, bool) {

@@ -30,6 +30,9 @@ type Point struct {
 	// network; a violation aborts the point and is recorded as a sweep
 	// error instead of polluting the table with garbage numbers.
 	Watchdog *invariant.Config
+	// Degrade, when set, installs the graceful-degradation controller
+	// on the point's run (see sim.Config.Degrade).
+	Degrade *DegradeConfig
 	// Replicate distinguishes repeated runs of an otherwise identical
 	// point; it is provenance only (each point already derives an
 	// independent seed from its grid index).
@@ -78,6 +81,7 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 			MeasureCycles: s.Measure,
 			Seed:          harness.PointSeed(s.Seed, i),
 			Watchdog:      p.Watchdog,
+			Degrade:       p.Degrade,
 			Cancel:        cancel,
 			SampleEvery:   p.SampleEvery,
 			SampleCap:     p.SampleCap,

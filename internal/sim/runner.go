@@ -50,6 +50,11 @@ type Config struct {
 	// channel closes. The crash-proof sweep harness uses it to reclaim
 	// points that exceed their wall-clock budget.
 	Cancel <-chan struct{}
+	// Degrade, when set, installs the graceful-degradation controller:
+	// offered messages pass through its deterministic admission gate
+	// (shed messages are counted, not submitted) and delivered latency
+	// plus fault density drive its hysteresis state machine.
+	Degrade *DegradeConfig
 
 	// SampleEvery, when positive, turns on the per-cycle metrics sampler:
 	// every SampleEvery cycles the observability registry (per-VC buffer
@@ -144,6 +149,18 @@ type Metrics struct {
 	// Watchdog results (zero unless Config.Watchdog was set).
 	Violations    int64 // invariant violations recorded
 	WatchdogScans int64 // audits performed
+
+	// FaultEventsApplied counts failure events (timeline + hazard) the
+	// network applied over the whole run.
+	FaultEventsApplied int64
+	// Degradation-controller results (zero unless Config.Degrade was
+	// set). ShedMessages counts offers the controller refused during
+	// the measurement window (they join Censored in the availability
+	// denominator); DegradeFinal is the controller's final state name.
+	ShedMessages       int64
+	DegradeTransitions int64
+	BreachedWindows    int64
+	DegradeFinal       string
 
 	// Phases holds the full per-phase latency histograms behind the mean
 	// decomposition above (percentiles, sums, clamp counters).
@@ -274,6 +291,11 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 	}
 	gen := traffic.NewGeneratorLengths(topo, pattern, cfg.Load, cfg.Lengths, cfg.Seed)
 
+	var deg *Degrader
+	if cfg.Degrade != nil {
+		deg = NewDegrader(*cfg.Degrade)
+	}
+
 	window := make(map[flit.MessageID]int64) // message -> creation cycle
 	hist := stats.NewHistogram(16, 4096)
 	phases := obs.NewPhaseBreakdown(16, 4096)
@@ -298,7 +320,7 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 	measureEnd := cfg.WarmupCycles + cfg.MeasureCycles
 	drainEnd := measureEnd + cfg.DrainCycles
 
-	var delivered, corrupt int64
+	var delivered, corrupt, shed int64
 	var abortErr error
 loop:
 	for cycle := int64(0); cycle < drainEnd; cycle++ {
@@ -311,6 +333,12 @@ loop:
 		if cycle < measureEnd {
 			for node := 0; node < topo.Nodes(); node++ {
 				if m, ok := gen.Tick(topology.NodeID(node), cycle); ok {
+					if deg != nil && !deg.Admit() {
+						if cycle >= measureStart {
+							shed++
+						}
+						continue
+					}
 					if cycle >= measureStart {
 						window[m.ID] = m.CreateTime
 					}
@@ -320,6 +348,9 @@ loop:
 		}
 		net.Step()
 		for _, d := range net.DrainDeliveries() {
+			if deg != nil {
+				deg.Observe(d.Time - d.Stamps.Create)
+			}
 			created, ok := window[d.Msg]
 			if !ok {
 				continue
@@ -337,6 +368,9 @@ loop:
 			if !d.DataOK {
 				corrupt++
 			}
+		}
+		if deg != nil {
+			deg.EndCycle(net.Cycle(), net.FaultEventsApplied(), net.Health() == nil)
 		}
 		if err := net.Health(); err != nil {
 			abortErr = err
@@ -406,6 +440,13 @@ loop:
 	if dog != nil {
 		m.Violations = int64(len(dog.Violations()))
 		m.WatchdogScans = dog.Scans()
+	}
+	m.FaultEventsApplied = net.FaultEventsApplied()
+	if deg != nil {
+		m.ShedMessages = shed
+		m.DegradeTransitions = deg.Transitions()
+		m.BreachedWindows = deg.BreachedWindows()
+		m.DegradeFinal = deg.State().String()
 	}
 	if sampler != nil {
 		m.Series = sampler.Series()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crnet/internal/core"
+	"crnet/internal/flit"
 	"crnet/internal/network"
 	"crnet/internal/obs"
 	snap "crnet/internal/snapshot"
@@ -13,7 +14,7 @@ import (
 
 // serviceStateVersion versions the Service's snapshot payload layout
 // (the bytes between the checkpoint container header and its CRC).
-const serviceStateVersion = 1
+const serviceStateVersion = 2
 
 // FNV-1a 64-bit parameters, used for the delivery stream hash.
 const (
@@ -36,6 +37,10 @@ type ServiceConfig struct {
 	SampleEvery int64
 	// SampleCap bounds the sample ring (default 512).
 	SampleCap int
+	// Degrade, when set, installs the graceful-degradation controller:
+	// trace submissions pass through its deterministic admission gate
+	// and its state/counters surface via Status and the registry.
+	Degrade *DegradeConfig
 }
 
 // Service is a checkpointable, continuously stepping simulation: a
@@ -52,6 +57,11 @@ type Service struct {
 	rep     *workload.Replayer
 	reg     *obs.Registry // nil unless SampleEvery > 0
 	sampler *obs.Sampler  // nil unless SampleEvery > 0
+	deg     *Degrader     // nil unless cfg.Degrade is set
+	// sub is the replayer's submission target: the network itself, or
+	// the degradation gate in front of it. Built once so the per-tick
+	// interface value does not allocate.
+	sub workload.Submitter
 
 	delivered int64
 	corrupt   int64
@@ -92,7 +102,31 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		s.reg, s.sampler = buildSampler(s.net, cfg.SampleEvery, cfg.SampleCap)
 		s.net.SetHooks(network.Hooks{Observer: s.sampler.Tick})
 	}
+	s.sub = s.net
+	if cfg.Degrade != nil {
+		s.deg = NewDegrader(*cfg.Degrade)
+		s.sub = &gatedSubmitter{net: s.net, deg: s.deg}
+		if s.reg != nil {
+			s.reg.Gauge("degrade_state", func() float64 { return float64(s.deg.State()) })
+			s.reg.Gauge("shed_messages", func() float64 { return float64(s.deg.Shed()) })
+		}
+	}
 	return s, nil
+}
+
+// gatedSubmitter interposes the degradation controller between the
+// trace replayer and the network: refused messages are counted as shed
+// and never reach an injector.
+type gatedSubmitter struct {
+	net *network.Network
+	deg *Degrader
+}
+
+//cr:hotpath per-trace-record admission gate on the service step path
+func (g *gatedSubmitter) SubmitMessage(m flit.Message) {
+	if g.deg.Admit() {
+		g.net.SubmitMessage(m)
+	}
 }
 
 // Step advances the simulation n cycles: replays due trace records,
@@ -100,10 +134,13 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 // It stops early with an error if the network latches unhealthy.
 func (s *Service) Step(n int64) error {
 	for i := int64(0); i < n; i++ {
-		s.rep.Tick(s.net, s.net.Cycle())
+		s.rep.Tick(s.sub, s.net.Cycle())
 		s.net.Step()
 		for _, d := range s.net.DrainDeliveries() {
 			s.observe(d)
+		}
+		if s.deg != nil {
+			s.deg.EndCycle(s.net.Cycle(), s.net.FaultEventsApplied(), s.net.Health() == nil)
 		}
 		if err := s.net.Health(); err != nil {
 			return fmt.Errorf("sim: service unhealthy at cycle %d: %w", s.net.Cycle(), err)
@@ -124,6 +161,9 @@ func (s *Service) observe(d core.Delivery) {
 	latency := d.Time - d.Stamps.Create
 	s.lat.Add(float64(latency))
 	s.hist.Add(latency)
+	if s.deg != nil {
+		s.deg.Observe(latency)
+	}
 
 	h := s.streamHash
 	h = fnvMix(h, uint64(d.Msg))
@@ -176,6 +216,10 @@ func (s *Service) Save() []byte {
 		s.reg.SaveState(&e)
 		s.sampler.SaveState(&e)
 	}
+	e.Bool(s.deg != nil)
+	if s.deg != nil {
+		s.deg.SaveState(&e)
+	}
 	return append([]byte(nil), e.Bytes()...)
 }
 
@@ -224,6 +268,18 @@ func (s *Service) Restore(payload []byte) error {
 		}
 		if err := s.sampler.LoadState(d); err != nil {
 			return fmt.Errorf("sim: restore sampler: %w", err)
+		}
+	}
+	hasDeg := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if hasDeg != (s.deg != nil) {
+		return fmt.Errorf("sim: snapshot degrader=%t, service degrader=%t", hasDeg, s.deg != nil)
+	}
+	if s.deg != nil {
+		if err := s.deg.LoadState(d); err != nil {
+			return fmt.Errorf("sim: restore degrader: %w", err)
 		}
 	}
 	return d.Finish()
@@ -281,6 +337,18 @@ type ServiceStatus struct {
 	Kills         int64   `json:"kills"`
 	StreamHash    string  `json:"stream_hash"`
 	Health        string  `json:"health,omitempty"`
+
+	// Degradation and availability. Degrade is the controller state name
+	// ("healthy"/"degraded"/"shedding"; empty when no controller is
+	// configured); Availability is delivered-intact over all finally
+	// disposed messages (delivered + shed + abandoned), 1 when nothing
+	// has been disposed yet.
+	Degrade         string  `json:"degrade,omitempty"`
+	Shed            int64   `json:"shed_messages"`
+	BreachedWindows int64   `json:"breached_windows"`
+	FaultEvents     int64   `json:"fault_events"`
+	HazardDown      int     `json:"hazard_down"`
+	Availability    float64 `json:"availability"`
 }
 
 // Status summarizes the service's current state.
@@ -305,9 +373,29 @@ func (s *Service) Status() ServiceStatus {
 		Retries:       is.Retries,
 		Kills:         is.Kills,
 		StreamHash:    fmt.Sprintf("%016x", s.streamHash),
+		FaultEvents:   s.net.FaultEventsApplied(),
+		HazardDown:    s.net.HazardDown(),
 	}
 	if err := s.net.Health(); err != nil {
 		st.Health = err.Error()
 	}
+	if s.deg != nil {
+		st.Degrade = s.deg.State().String()
+		st.Shed = s.deg.Shed()
+		st.BreachedWindows = s.deg.BreachedWindows()
+	}
+	st.Availability = availability(s.delivered, s.corrupt, st.Shed, is.Failed)
 	return st
+}
+
+// availability is the served-traffic SLO ratio: messages delivered with
+// intact payloads over every message with a final disposition —
+// delivered, shed by the controller, or abandoned by its source. It is
+// 1 while nothing has been disposed.
+func availability(delivered, corrupt, shed, failed int64) float64 {
+	total := delivered + shed + failed
+	if total <= 0 {
+		return 1
+	}
+	return float64(delivered-corrupt) / float64(total)
 }

@@ -37,7 +37,7 @@ const Magic = "CRSNAP01"
 // FormatVersion is the payload schema version written into the header.
 // Bump it whenever any SaveState encoding changes so old readers refuse
 // new checkpoints instead of misreading them.
-const FormatVersion = 1
+const FormatVersion = 2
 
 const headerSize = len(Magic) + 4 + 8 + 8 // magic + version + cycle + length
 

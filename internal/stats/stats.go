@@ -135,6 +135,16 @@ func (h *Histogram) Add(v int64) {
 	h.buckets[idx]++
 }
 
+// Reset clears all observations in place, retaining the shape and the
+// bucket allocation, so windowed consumers (e.g. the degradation
+// controller's per-window latency view) can reuse one histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.overflow, h.total, h.sum, h.maxSeen, h.clamped = 0, 0, 0, 0, 0
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.total }
 
