@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint staticcheck race race-harness chaos fuzz bench bench-kernel alloc-gate snapshot-pin results profile
+.PHONY: verify build test vet lint staticcheck race race-harness race-sharded chaos fuzz bench bench-kernel bench-sharded alloc-gate snapshot-pin results profile
 
 # Tier-1: build + tests, then vet, then the custom static-invariant
 # suite, then the cycle-kernel allocation gate, then the worker pool's
 # determinism test under the race detector (fast, targeted), then the
-# checkpoint/restore resume pin, then the chaos soak.
-verify: build test vet lint alloc-gate race-harness snapshot-pin chaos
+# sharded-kernel race gate, then the checkpoint/restore resume pin,
+# then the chaos soak.
+verify: build test vet lint alloc-gate race-harness race-sharded snapshot-pin chaos
 
 build:
 	$(GO) build ./...
@@ -52,6 +53,17 @@ race:
 # parallel=1 against parallel=8 byte for byte.
 race-harness:
 	$(GO) test -race ./internal/harness/... ./internal/sim/...
+
+# The sharded cycle kernel under the race detector with a pinned
+# scheduler width: the serial-vs-sharded byte-identity pin, cross-mode
+# snapshot restore, sharded reset, and the full-harness run (fault
+# timeline + hazard + watchdog + sampler attached) at shard counts
+# including one that does not divide the node count. Every parallel
+# phase and merge barrier executes with real goroutine interleaving.
+race-sharded:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestSharded|TestShardPartition' \
+		./internal/network/ ./internal/sim/
 
 # The chaos soaks (random fail/repair timeline, the load-coupled hazard
 # process, and the graceful-degradation controller's recovery arc, all
@@ -115,6 +127,32 @@ bench-kernel:
 	} \
 	END { print "\n  ]\n}" }' profile/bench_kernel.txt > BENCH_PR4.json
 	@cat BENCH_PR4.json
+
+# Sharded-kernel benchmarks (serial vs sharded step cost at 64x64,
+# 256x256 and 1024x1024), regenerating BENCH_PR8.json. The rows record
+# whatever the current host measures; the artifact's host block captures
+# GOMAXPROCS so single-core runs (where sharding is pure overhead) are
+# distinguishable from multi-core ones (where 256x256 saturated should
+# approach GOMAXPROCS-way speedup).
+bench-sharded:
+	@mkdir -p profile
+	$(GO) test ./internal/network/ -run '^$$' -bench BenchmarkStepShard -benchmem -count=1 -timeout 60m \
+		| tee profile/bench_sharded.txt
+	@awk 'BEGIN { \
+		print "{"; \
+		print "  \"schema\": \"kernel-bench/1\","; \
+		print "  \"benchmark\": \"internal/network BenchmarkStepShard (CR torus; k64/k256 at 0.9 load, k1024 at 0.05)\","; \
+		print "  \"gomaxprocs\": "'"$$(nproc)"'","; \
+		print "  \"current\": ["; \
+	} \
+	/^BenchmarkStep/ { \
+		name = $$1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$$/, "", name); \
+		if (n++) printf ",\n"; \
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			name, $$3, $$5, $$7; \
+	} \
+	END { print "\n  ]\n}" }' profile/bench_sharded.txt > BENCH_PR8.json
+	@cat BENCH_PR8.json
 
 # Regenerate the quick-scale result tables checked into the repo.
 results:

@@ -9,8 +9,12 @@
 //
 // Grid-based experiments run their sweep points over a worker pool
 // (-parallel, default all cores); results are byte-identical for every
-// worker count, so -parallel only changes wall-clock. Progress and
-// timing go to stderr, result tables to stdout. -json additionally
+// worker count, so -parallel only changes wall-clock. Independently,
+// -shards N splits each simulated network itself across N workers (the
+// sharded cycle kernel, pinned byte-identical to the serial one) —
+// useful when one big network, not many points, dominates the run.
+// Profiling flags force both back to serial for a clean call tree.
+// Progress and timing go to stderr, result tables to stdout. -json additionally
 // writes a versioned machine-readable artifact (schema, git version,
 // config echo, per-point wall-clock, per-point failures) for the
 // BENCH_*.json perf trajectory.
@@ -109,6 +113,7 @@ func run() (code int) {
 		csv           = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list          = flag.Bool("list", false, "list experiments and exit")
 		parallel      = flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial; results identical)")
+		shards        = flag.Int("shards", 0, "shard each simulated network across N workers (0/1 = serial kernel; results identical)")
 		timeout       = flag.Duration("point-timeout", 0, "per-sweep-point wall-clock budget (0 = unbounded); exceeded points are recorded as errors")
 		jsonOut       = flag.String("json", "", "also write a versioned JSON results artifact to this file")
 		quiet         = flag.Bool("quiet", false, "suppress progress/timing output on stderr")
@@ -142,12 +147,15 @@ func run() (code int) {
 		return 2
 	}
 	// Profiling wants one goroutine doing the simulating, so the profile
-	// reads as a single clean call tree: force the harness's serial mode.
+	// reads as a single clean call tree: force the harness's serial mode
+	// and the serial cycle kernel.
 	profiling := *cpuProf != "" || *memProf != "" || *traceOut != ""
 	if profiling {
 		*parallel = 1
+		*shards = 1
 	}
 	s.Parallel = *parallel
+	s.Shards = *shards
 	s.PointTimeout = *timeout
 	if !*quiet {
 		s.Progress = os.Stderr

@@ -1,6 +1,10 @@
 package core
 
-import "crnet/internal/snapshot"
+import (
+	"fmt"
+
+	"crnet/internal/snapshot"
+)
 
 // Throttle is a deterministic admission gate: out of every den offers
 // it admits exactly num, spread as evenly as the integer lattice allows
@@ -59,13 +63,23 @@ func (t *Throttle) SaveState(e *snapshot.Encoder) {
 	e.Varint(t.acc)
 }
 
-// LoadState restores a state saved by SaveState.
+// LoadState restores a state saved by SaveState. The decoded triple is
+// range-checked against the invariants SetRate/Allow maintain — den
+// non-negative, num in [0, den], acc in [0, den) when den > 0, and all
+// zero when never configured — so a corrupt or hand-crafted snapshot
+// cannot silently skew admissions (an out-of-range accumulator would
+// bias every Allow decision until it happened to re-enter the lattice).
 func (t *Throttle) LoadState(d *snapshot.Decoder) error {
 	num := d.Varint()
 	den := d.Varint()
 	acc := d.Varint()
 	if err := d.Err(); err != nil {
 		return err
+	}
+	valid := (num == 0 && den == 0 && acc == 0) ||
+		(den > 0 && num >= 0 && num <= den && acc >= 0 && acc < den)
+	if !valid {
+		return fmt.Errorf("core: throttle state num=%d den=%d acc=%d out of range", num, den, acc)
 	}
 	t.num, t.den, t.acc = num, den, acc
 	return nil

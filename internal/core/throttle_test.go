@@ -67,6 +67,52 @@ func TestThrottleClamps(t *testing.T) {
 	}
 }
 
+// TestThrottleLoadRejectsCorruptState pins the LoadState range gate: a
+// corrupt or hand-crafted snapshot must not install a triple the
+// throttle's own transitions can never produce (it would silently skew
+// every admission decision until the accumulator re-entered the
+// lattice).
+func TestThrottleLoadRejectsCorruptState(t *testing.T) {
+	cases := []struct {
+		name          string
+		num, den, acc int64
+		ok            bool
+	}{
+		{"never-configured zero", 0, 0, 0, true},
+		{"valid mid-lattice", 7, 10, 3, true},
+		{"valid acc at top", 7, 10, 9, true},
+		{"acc equal to den", 7, 10, 10, false},
+		{"acc above den", 7, 10, 11, false},
+		{"negative acc", 7, 10, -1, false},
+		{"num above den", 11, 10, 0, false},
+		{"negative num", -1, 10, 0, false},
+		{"negative den", 1, -10, 0, false},
+		{"zero den with num", 1, 0, 0, false},
+		{"zero den with acc", 0, 0, 1, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e snapshot.Encoder
+			e.Varint(c.num)
+			e.Varint(c.den)
+			e.Varint(c.acc)
+			var th Throttle
+			err := th.LoadState(snapshot.NewDecoder(e.Bytes()))
+			if c.ok && err != nil {
+				t.Fatalf("valid state %d/%d acc=%d rejected: %v", c.num, c.den, c.acc, err)
+			}
+			if !c.ok {
+				if err == nil {
+					t.Fatalf("corrupt state %d/%d acc=%d accepted", c.num, c.den, c.acc)
+				}
+				if n, d := th.Rate(); n != 0 || d != 0 {
+					t.Fatalf("rejected state still mutated the throttle: rate %d/%d", n, d)
+				}
+			}
+		})
+	}
+}
+
 func TestThrottleStateRoundTrip(t *testing.T) {
 	var a Throttle
 	a.SetRate(7, 10)

@@ -55,12 +55,15 @@ func (s *nodeSet) prepare() {
 // while iterating (see phaseTransmit).
 func (s *nodeSet) drop(id int32) { s.member[id] = false }
 
-// reset empties the set.
+// reset empties the set. The dirty flag is cleared too: an empty list
+// is trivially sorted, and leaving the flag set would make the next
+// prepare after a Network.Reset run a pointless sort pass.
 func (s *nodeSet) reset() {
 	for _, id := range s.ids {
 		s.member[id] = false
 	}
 	s.ids = s.ids[:0]
+	s.dirty = false
 }
 
 // linkRef identifies one directed link by its upstream (node, port).

@@ -1,0 +1,84 @@
+package network
+
+import (
+	"runtime"
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/flit"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+)
+
+// TestMillionNodeTorus pins the memory diet: a 1024x1024 torus (2^20
+// nodes, 4M links) must construct and step within a modest heap. The
+// flat link array is the only per-link cost (~120 B each, ~500 MB
+// total); routers, injectors, and receivers are built lazily, so a run
+// that touches a corner of the network pays only for that corner. The
+// test routes real traffic through a handful of neighborhoods under the
+// sharded kernel and then checks both that deliveries happen and that
+// the component arrays stayed almost entirely nil.
+func TestMillionNodeTorus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node construction is slow in -short mode")
+	}
+	const k = 1024
+	topo := topology.NewTorus(k, 2)
+	n := New(Config{
+		Topo:     topo,
+		Alg:      routing.MinimalAdaptive{},
+		Protocol: core.CR,
+		Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Shards:   8,
+		Seed:     1,
+	})
+	if n.LinkCount() != k*k*4 {
+		t.Fatalf("link count = %d, want %d", n.LinkCount(), k*k*4)
+	}
+
+	// A few short-haul conversations scattered across the square: each
+	// source talks to a node 3 hops away, so only small neighborhoods
+	// ever construct routers.
+	pairs := [][2]topology.NodeID{}
+	for _, base := range []int{0, 511*k + 511, 1023*k + 1020, 256 * k} {
+		src := topology.NodeID(base)
+		dst := topology.NodeID((base + 3) % (k * k))
+		pairs = append(pairs, [2]topology.NodeID{src, dst})
+	}
+	var id flit.MessageID
+	for _, p := range pairs {
+		id++
+		n.SubmitMessage(flit.Message{ID: id, Src: p[0], Dst: p[1], DataLen: 4})
+	}
+	delivered := 0
+	for c := 0; c < 400 && delivered < len(pairs); c++ {
+		n.Step()
+		delivered += len(n.DrainDeliveries())
+	}
+	if delivered != len(pairs) {
+		t.Fatalf("delivered %d of %d messages in 400 cycles", delivered, len(pairs))
+	}
+
+	// The diet itself: lazy construction must have left nearly all of
+	// the million component slots nil.
+	built := 0
+	for id := range n.routers {
+		if n.routers[id] != nil {
+			built++
+		}
+	}
+	if built == 0 || built > 1024 {
+		t.Fatalf("constructed %d routers, want a small non-zero neighborhood", built)
+	}
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runtime.KeepAlive(n)       // the network must still be live when measured
+	const heapBudget = 2 << 30 // 2 GiB, ~4x the link array
+	if ms.HeapAlloc > heapBudget {
+		t.Fatalf("heap after million-node run = %d MiB, budget %d MiB",
+			ms.HeapAlloc>>20, heapBudget>>20)
+	}
+	t.Logf("heap after run: %d MiB, routers built: %d", ms.HeapAlloc>>20, built)
+}

@@ -14,19 +14,26 @@ import (
 // upstream credits + downstream buffered + in-flight == BufDepth.
 func checkLinkConservation(t *testing.T, n *Network, vcs, depth int) {
 	t.Helper()
-	for id := range n.links {
-		for p := range n.links[id] {
-			l := &n.links[id][p]
+	for id := 0; id < n.nodes; id++ {
+		for p := 0; p < n.deg; p++ {
+			l := n.linkAt(id, p)
 			if !l.exists || !l.up {
 				continue
 			}
+			// Lazy construction: a link between two never-touched
+			// routers trivially conserves (full credits, empty buffers).
+			if n.routers[id] == nil && n.routers[l.toNode] == nil {
+				continue
+			}
+			up := n.routerAt(topology.NodeID(id))
+			down := n.routerAt(topology.NodeID(l.toNode))
 			for vc := 0; vc < vcs; vc++ {
 				inFlight := 0
-				if l.busy && l.vc == vc {
+				if l.busy && int(l.vc) == vc {
 					inFlight = 1
 				}
-				credit := n.routers[id].CreditOf(p, vc)
-				buffered := n.routers[l.toNode].BufferedAt(l.toPort, vc)
+				credit := up.CreditOf(p, vc)
+				buffered := down.BufferedAt(int(l.toPort), vc)
 				if credit+buffered+inFlight != depth {
 					t.Fatalf("cycle %d: link (%d,%d) vc %d: credit %d + buffered %d + inflight %d != %d",
 						n.Cycle(), id, p, vc, credit, buffered, inFlight, depth)

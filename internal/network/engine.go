@@ -66,21 +66,39 @@ var pipeline = [...]enginePhase{
 
 // Step advances the simulation one cycle: the phase pipeline, invariant
 // checks (Config.Check), the Monitor hook, the cycle increment, and the
-// Observer hook, in that order.
+// Observer hook, in that order. With Config.Shards > 1 the pipeline
+// runs sharded (see shard.go) with byte-identical results; the
+// brute-force reference flag always selects the serial kernel.
 //
 //cr:hotpath cycle-kernel entry point; zero-alloc steady state (TestSteadyStateZeroAlloc)
 func (n *Network) Step() {
+	if n.shards != nil && !n.bruteForce {
+		n.stepSharded()
+		return
+	}
 	progressed := false
 	for i := range pipeline {
 		if pipeline[i].run(n) {
 			progressed = true
 		}
 	}
+	n.finishStep(progressed)
+}
+
+// finishStep is the per-cycle epilogue shared by the serial and sharded
+// kernels: the progress clock, invariant checks, the Monitor hook, the
+// cycle increment, and the Observer hook.
+//
+//cr:hotpath per-cycle epilogue of both kernels
+func (n *Network) finishStep(progressed bool) {
 	if progressed {
 		n.lastProgress = n.cycle
 	}
 	if n.cfg.Check {
 		for _, r := range n.routers {
+			if r == nil {
+				continue // never constructed, trivially consistent
+			}
 			if err := r.CheckInvariants(); err != nil {
 				panic(fmt.Sprintf("cycle %d: %v", n.cycle, err))
 			}

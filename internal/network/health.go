@@ -76,16 +76,17 @@ func (n *Network) Ledger() FlitLedger {
 		Dropped:  n.flitsDropped,
 	}
 	for _, r := range n.routers {
+		if r == nil {
+			continue // never constructed: never held a flit
+		}
 		s := r.Stats()
 		l.Purged += s.PurgedFlits
 		l.Stragglers += s.Stragglers
 		l.Buffered += int64(r.BufferedFlits())
 	}
-	for id := range n.links {
-		for p := range n.links[id] {
-			if n.links[id][p].busy {
-				l.InFlight++
-			}
+	for i := range n.links {
+		if n.links[i].busy {
+			l.InFlight++
 		}
 	}
 	return l
@@ -127,22 +128,22 @@ func (n *Network) Connected(src, dst topology.NodeID) bool {
 	if src == dst {
 		return true
 	}
-	visited := make([]bool, len(n.links))
+	visited := make([]bool, n.nodes)
 	queue := []topology.NodeID{src}
 	visited[src] = true
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for p := range n.links[cur] {
-			l := &n.links[cur][p]
+		for p := 0; p < n.deg; p++ {
+			l := n.linkAt(int(cur), p)
 			if !l.exists || !l.up || visited[l.toNode] {
 				continue
 			}
-			if l.toNode == dst {
+			if l.toNode == int32(dst) {
 				return true
 			}
 			visited[l.toNode] = true
-			queue = append(queue, l.toNode)
+			queue = append(queue, topology.NodeID(l.toNode))
 		}
 	}
 	return false
@@ -154,6 +155,9 @@ func (n *Network) Connected(src, dst topology.NodeID) bool {
 func (n *Network) MaxHops() (int, flit.WormID) {
 	best, worm := 0, flit.WormID(0)
 	for _, r := range n.routers {
+		if r == nil {
+			continue
+		}
 		if h, w := r.MaxHops(); h > best {
 			best, worm = h, w
 		}
@@ -174,6 +178,9 @@ func (n *Network) BlockedWorms(min int) []BlockedWormAt {
 	var out []BlockedWormAt
 	var buf []router.BlockedWorm
 	for id, r := range n.routers {
+		if r == nil {
+			continue
+		}
 		buf = r.BlockedWorms(min, buf[:0])
 		for _, b := range buf {
 			out = append(out, BlockedWormAt{Node: topology.NodeID(id), BlockedWorm: b})
@@ -188,6 +195,9 @@ func (n *Network) BlockedWorms(min int) []BlockedWormAt {
 func (n *Network) MessageFailures() []core.Failure {
 	var out []core.Failure
 	for _, in := range n.injectors {
+		if in == nil {
+			continue
+		}
 		out = append(out, in.Failures()...)
 	}
 	return out

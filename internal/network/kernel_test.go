@@ -46,6 +46,18 @@ func TestNodeSetSortedIteration(t *testing.T) {
 	if len(s.ids) != 0 || s.has(3) {
 		t.Fatalf("reset left state behind: ids=%v", s.ids)
 	}
+	// The reset set must also come back clean: an empty list is
+	// trivially sorted, so a reset that leaves dirty latched would make
+	// the next prepare after Network.Reset run a pointless sort pass.
+	if s.dirty {
+		t.Fatal("reset left the set marked dirty")
+	}
+	s.add(4)
+	s.add(1)
+	s.prepare()
+	if !reflect.DeepEqual(s.ids, []int32{1, 4}) {
+		t.Fatalf("ids after reset+add = %v, want [1 4]", s.ids)
+	}
 }
 
 // kernelSnapshot is everything observable about a run that the

@@ -28,10 +28,15 @@
 // routers/injectors/receivers (see step.go), so idle cycles cost
 // O(active) rather than O(network) while producing byte-identical
 // results to a full scan.
+//
+// With Config.Shards > 1 the same pipeline runs sharded across worker
+// goroutines with results byte-identical to the serial kernel; see
+// shard.go for the partitioning and merge discipline.
 package network
 
 import (
 	"fmt"
+	"sync"
 
 	"crnet/internal/core"
 	"crnet/internal/faults"
@@ -50,7 +55,8 @@ type Config struct {
 	// the DOR baselines, CR, or FCR).
 	Protocol core.Protocol
 	// VCs is the virtual channel count per network port; 0 means the
-	// algorithm's minimum.
+	// algorithm's minimum. At most 255 (the link slot stores the VC
+	// index in a byte).
 	VCs int
 	// BufDepth is the per-VC buffer depth; 0 means 2 (the paper's CR
 	// setting).
@@ -97,6 +103,14 @@ type Config struct {
 	// process from it.
 	Hazard *faults.HazardSpec
 
+	// Shards, when > 1, steps the network across that many worker
+	// goroutines (clamped to the node count), partitioning the node set
+	// into contiguous id ranges. Results are byte-identical to the
+	// serial kernel for every shard count — see shard.go for the
+	// ordering discipline — so Shards, like the harness worker count,
+	// only changes wall-clock. 0 or 1 selects the serial kernel.
+	Shards int
+
 	// Check enables router invariant verification every cycle (slow;
 	// tests only).
 	Check bool
@@ -109,6 +123,9 @@ func (c *Config) fillDefaults() error {
 	if c.VCs == 0 {
 		c.VCs = c.Alg.MinVCs(c.Topo)
 	}
+	if c.VCs > 255 {
+		return fmt.Errorf("network: VCs = %d exceeds 255", c.VCs)
+	}
 	if c.BufDepth == 0 {
 		c.BufDepth = 2
 	}
@@ -117,6 +134,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.EjectionChannels == 0 {
 		c.EjectionChannels = 1
+	}
+	if c.Shards < 0 {
+		c.Shards = 0
 	}
 	if c.RouterTimeout > 0 && c.Protocol == core.Plain {
 		return fmt.Errorf("network: RouterTimeout needs CR or FCR (sources must retransmit)")
@@ -153,25 +173,27 @@ func (c Config) coreConfig() core.Config {
 	}
 }
 
-// link is one unidirectional channel between routers.
+// link is one unidirectional channel between routers. The struct is
+// deliberately compact — node ids as int32, port/vc indices as small
+// integers — because a million-node torus carries four million of
+// these; see DESIGN.md §10 (memory diet).
 type link struct {
-	exists bool
-	up     bool
-	toNode topology.NodeID
-	toPort int // input port index at toNode
+	f     flit.Flit
+	flits int64 // traversal count, for utilization reporting
+
+	toNode int32
+	toPort int16 // input port index at toNode
 
 	// downRefs reference-counts failure causes: a link can be taken
 	// down both by its own LinkEvent and by an incident NodeEvent, and
 	// only comes back up when every cause has been repaired. up is true
 	// iff downRefs == 0.
-	downRefs int
+	downRefs int16
 
-	busy bool
-	vc   int
-	f    flit.Flit
-
-	// flits counts traversals, for utilization reporting.
-	flits int64
+	vc     uint8
+	exists bool
+	up     bool
+	busy   bool
 }
 
 // scheduledSignal is a tear-down signal due at a router next cycle.
@@ -180,12 +202,13 @@ type scheduledSignal struct {
 	sig  router.Signal
 }
 
-// creditEvent is a deferred credit refund.
+// creditEvent is a deferred credit refund, compacted like link: a
+// saturated big network queues one of these per flit moved per cycle.
 type creditEvent struct {
-	node topology.NodeID
-	port int
-	vc   int
-	n    int
+	node int32
+	port int16
+	vc   uint8
+	n    int32
 }
 
 // fkillReq is a receiver-initiated backward tear-down.
@@ -197,41 +220,69 @@ type fkillReq struct {
 
 // Network is a complete simulated machine. Construct with New, drive
 // with Step, feed with SubmitMessage, observe with DrainDeliveries and
-// the stats accessors. Not safe for concurrent use.
+// the stats accessors. Not safe for concurrent use (with Shards > 1
+// the network manages its own internal workers; the external contract
+// is unchanged).
 type Network struct {
-	cfg       Config
-	topo      topology.Topology
+	cfg   Config
+	topo  topology.Topology
+	nodes int
+	deg   int
+
+	// routers/injectors/receivers are constructed lazily on first
+	// touch (routerAt and friends): a node that never sees a flit never
+	// pays for its ~kilobytes of arena state, which is what lets a
+	// million-node network construct instantly and grow memory with
+	// traffic instead of with topology size. Construction is
+	// deterministic and state-free, so the touch order cannot affect
+	// results. rcfg/ccfg are the precomputed construction parameters.
 	routers   []*router.Router
 	injectors []*core.Injector
 	receivers []*core.Receiver
-	links     [][]link // [node][port]
+	rcfg      router.Config
+	ccfg      core.Config
+
+	// links is the flat [node*degree+port] link array (uniform degree),
+	// replacing a per-node slice-of-slices: one allocation, no header
+	// per node, cache-linear iteration.
+	links []link
 
 	cycle     int64
-	signals   []scheduledSignal // due next cycle
-	sigNow    []scheduledSignal // being processed this cycle
-	credits   []creditEvent
-	fkills    []fkillReq
+	sigNow    []scheduledSignal // signals being processed this cycle
 	corrupter faults.Corrupter
-	emitBuf   []router.Emit
 	wormBuf   []router.WormAt
 
-	// deliveries accumulates this cycle's completions; drained holds the
-	// slice handed out by the previous DrainDeliveries and is reused as
-	// the next accumulation buffer (double buffering, no allocation).
-	deliveries []core.Delivery
-	drained    []core.Delivery
+	// sink holds the cross-node side-effect queues of the serial
+	// execution context: scheduled signals, deferred credits, FKILL
+	// requests, the busy-link worklist, accepting receivers, completed
+	// deliveries, and the flit counters fed from hot paths. Embedding
+	// promotes the fields (n.credits, n.flitsInjected, ...), keeping
+	// the serial kernel untouched; in sharded mode each shard owns its
+	// own sink and the barriers merge them into this one in shard order
+	// (see shard.go).
+	sink
+
+	// drained holds the slice handed out by the previous
+	// DrainDeliveries and is reused as the next accumulation buffer
+	// (double buffering, no allocation).
+	drained []core.Delivery
 
 	// Activity worklists (see step.go for the maintenance protocol).
-	busyLinks   []linkRef // links carrying a flit, ascending (node, port)
-	linkScratch []linkRef // last cycle's worklist, being consumed
+	linkScratch []linkRef // last cycle's busy-link worklist, being consumed
 	activeR     nodeSet   // routers with buffered flits
 	activeI     nodeSet   // injectors with queued or in-flight work
-	recvPend    []int32   // receivers that accepted a flit this cycle
 	recvMark    []bool    // recvPend dedup bitmap
 
 	// bruteForce disables the worklists and restores scan-everything
 	// phases; the soak test cross-checks the two cycle by cycle.
+	// It also forces the serial kernel regardless of Config.Shards.
 	bruteForce bool
+
+	// Sharded stepping (nil unless Config.Shards > 1): the shard
+	// descriptors, the node→shard index, and the fork/join group.
+	shards    []shard
+	nodeShard []int32
+	wg        sync.WaitGroup
 
 	// Load-coupled failure process (nil unless cfg.Hazard is set).
 	// hazardLinks fixes the entity order; hazardFlits/hazardLoad are
@@ -249,11 +300,8 @@ type Network struct {
 	lastProgress  int64
 	lastFault     int64 // cycle of the most recent fault-timeline event
 	failEvents    int64 // fault *failure* events applied (timeline + hazard)
-	killsDropped  int64 // signals dropped at dead links
 	flitsDropped  int64 // in-flight flits lost to link death
 	flitsDegraded int64 // transient corruptions applied on links
-	flitsInjected int64 // flits entering the network at injection ports
-	flitsEjected  int64 // flits leaving the network at ejection ports
 }
 
 // New builds the network. It panics on invalid configuration.
@@ -263,13 +311,18 @@ func New(cfg Config) *Network {
 	}
 	topo := cfg.Topo
 	nodes := topo.Nodes()
+	deg := topo.Degree()
 	n := &Network{
 		cfg:       cfg,
 		topo:      topo,
+		nodes:     nodes,
+		deg:       deg,
 		routers:   make([]*router.Router, nodes),
 		injectors: make([]*core.Injector, nodes),
 		receivers: make([]*core.Receiver, nodes),
-		links:     make([][]link, nodes),
+		links:     make([]link, nodes*deg),
+		rcfg:      cfg.routerConfig(),
+		ccfg:      cfg.coreConfig(),
 		corrupter: newCorrupter(cfg),
 		activeR:   newNodeSet(nodes),
 		activeI:   newNodeSet(nodes),
@@ -277,28 +330,18 @@ func New(cfg Config) *Network {
 		hooks:     Hooks{Faults: cfg.Faults},
 		lastFault: -1,
 	}
-	rcfg := cfg.routerConfig()
-	ccfg := cfg.coreConfig()
 	for id := 0; id < nodes; id++ {
 		node := topology.NodeID(id)
-		n.routers[id] = router.New(node, topo, cfg.Alg, rcfg)
-		ports := make([]core.Port, cfg.InjectionChannels)
-		for ch := range ports {
-			ports[ch] = injPort{net: n, node: node, ch: ch}
-		}
-		n.injectors[id] = core.NewInjector(ccfg, topo, node, ports, cfg.Seed)
-		n.receivers[id] = core.NewReceiver(ccfg, node, fkillPort{net: n, node: node})
-		n.links[id] = make([]link, topo.Degree())
-		for p := range n.links[id] {
+		for p := 0; p < deg; p++ {
 			next, ok := topo.Neighbor(node, topology.Port(p))
 			if !ok {
 				continue
 			}
-			n.links[id][p] = link{
+			n.links[id*deg+p] = link{
 				exists: true,
 				up:     true,
-				toNode: next,
-				toPort: int(topo.ReversePort(node, topology.Port(p))),
+				toNode: int32(next),
+				toPort: int16(topo.ReversePort(node, topology.Port(p))),
 			}
 		}
 	}
@@ -312,7 +355,69 @@ func New(cfg Config) *Network {
 		n.hazardFlits = make([]int64, len(n.hazardLinks))
 		n.hazardLoad = make([]float64, nodes)
 	}
+	n.initShards(cfg.Shards)
 	return n
+}
+
+// linkAt returns the link at (node, port) in the flat array.
+func (n *Network) linkAt(id, p int) *link { return &n.links[id*n.deg+p] }
+
+// routerAt returns node id's router, constructing it on first touch.
+// Stats accessors that only *read* router state skip nil entries
+// instead (an untouched router contributes its zero/initial values).
+func (n *Network) routerAt(id topology.NodeID) *router.Router {
+	r := n.routers[id]
+	if r == nil {
+		//cr:alloc lazy one-time construction on a node's first flit
+		r = router.New(id, n.topo, n.cfg.Alg, n.rcfg)
+		// A link that failed before this router's first touch must be
+		// reflected in the fresh router's port state (failLink skips
+		// unconstructed routers; they hold no worms to sweep).
+		for p := 0; p < n.deg; p++ {
+			l := n.linkAt(int(id), p)
+			if l.exists && !l.up {
+				r.SetLinkDown(p)
+			}
+		}
+		n.routers[id] = r
+	}
+	return r
+}
+
+// injectorAt returns node id's injector, constructing it on first touch.
+func (n *Network) injectorAt(id topology.NodeID) *core.Injector {
+	in := n.injectors[id]
+	if in == nil {
+		//cr:alloc lazy one-time construction on a node's first submission
+		ports := make([]core.Port, n.cfg.InjectionChannels)
+		for ch := range ports {
+			ports[ch] = injPort{net: n, node: id, ch: ch}
+		}
+		in = core.NewInjector(n.ccfg, n.topo, id, ports, n.cfg.Seed)
+		n.injectors[id] = in
+	}
+	return in
+}
+
+// receiverAt returns node id's receiver, constructing it on first touch.
+func (n *Network) receiverAt(id topology.NodeID) *core.Receiver {
+	rc := n.receivers[id]
+	if rc == nil {
+		//cr:alloc lazy one-time construction on a node's first ejection
+		rc = core.NewReceiver(n.ccfg, id, fkillPort{net: n, node: id})
+		n.receivers[id] = rc
+	}
+	return rc
+}
+
+// forceConstruct materializes every lazily-constructed component, for
+// the paths that need the full population (snapshot encode/decode).
+func (n *Network) forceConstruct() {
+	for id := 0; id < n.nodes; id++ {
+		n.routerAt(topology.NodeID(id))
+		n.injectorAt(topology.NodeID(id))
+		n.receiverAt(topology.NodeID(id))
+	}
 }
 
 // newCorrupter builds the configured transient-corruption process; New
@@ -324,7 +429,9 @@ func newCorrupter(cfg Config) faults.Corrupter {
 	return faults.NewTransient(cfg.TransientRate, cfg.Seed)
 }
 
-// injPort adapts a router injection channel to core.Port.
+// injPort adapts a router injection channel to core.Port. Its methods
+// run inside the injector phase — under sharding that is the owning
+// shard's worker, so all side effects flow through the node's sink.
 type injPort struct {
 	net  *Network
 	node topology.NodeID
@@ -332,25 +439,27 @@ type injPort struct {
 }
 
 func (p injPort) Ready() bool {
-	return p.net.routers[p.node].InjectionReady(p.ch)
+	return p.net.routerAt(p.node).InjectionReady(p.ch)
 }
 
 func (p injPort) Free() int {
-	return p.net.routers[p.node].InjectionFree(p.ch)
+	return p.net.routerAt(p.node).InjectionFree(p.ch)
 }
 
 func (p injPort) Inject(f flit.Flit) {
-	p.net.trace(EvInject, p.node, p.ch, 0, f.Worm, f.Seq)
-	p.net.flitsInjected++
+	sk := p.net.sinkFor(p.node)
+	p.net.traceTo(sk, EvInject, p.node, p.ch, 0, f.Worm, f.Seq)
+	sk.flitsInjected++
 	p.net.activateRouter(p.node)
-	p.net.routers[p.node].Inject(p.ch, f)
+	p.net.routerAt(p.node).Inject(p.ch, f)
 }
 
 func (p injPort) Kill(worm flit.WormID) {
-	r := p.net.routers[p.node]
+	sk := p.net.sinkFor(p.node)
+	r := p.net.routerAt(p.node)
 	sig := router.Signal{Kind: router.KillFwd, Port: r.InjPort(p.ch), VC: 0, Worm: worm}
-	p.net.emitBuf = r.ApplySignal(sig, p.net.emitBuf[:0])
-	p.net.routeEmits(p.node, p.net.emitBuf)
+	sk.emitBuf = r.ApplySignal(sig, sk.emitBuf[:0])
+	p.net.routeEmits(sk, p.node, sk.emitBuf)
 }
 
 // fkillPort lets a receiver tear worms down backward from its ejection
@@ -361,7 +470,8 @@ type fkillPort struct {
 }
 
 func (p fkillPort) FKill(ch int, worm flit.WormID) {
-	p.net.fkills = append(p.net.fkills, fkillReq{node: p.node, ch: ch, worm: worm})
+	sk := p.net.sinkFor(p.node)
+	sk.fkills = append(sk.fkills, fkillReq{node: p.node, ch: ch, worm: worm})
 }
 
 // Cycle returns the current simulation time.
@@ -371,15 +481,15 @@ func (n *Network) Cycle() int64 { return n.cycle }
 func (n *Network) Topology() topology.Topology { return n.topo }
 
 // Injector returns node id's injector (for submitting traffic).
-func (n *Network) Injector(id topology.NodeID) *core.Injector { return n.injectors[id] }
+func (n *Network) Injector(id topology.NodeID) *core.Injector { return n.injectorAt(id) }
 
 // Receiver returns node id's receiver.
-func (n *Network) Receiver(id topology.NodeID) *core.Receiver { return n.receivers[id] }
+func (n *Network) Receiver(id topology.NodeID) *core.Receiver { return n.receiverAt(id) }
 
 // SubmitMessage queues m at its source node's injector.
 func (n *Network) SubmitMessage(m flit.Message) {
 	n.activateInjector(m.Src)
-	n.injectors[m.Src].Submit(m)
+	n.injectorAt(m.Src).Submit(m)
 }
 
 // DrainDeliveries returns and clears all messages delivered since the
@@ -410,37 +520,38 @@ func (n *Network) Reset() {
 		panic(fmt.Sprintf("network: Reset on a network latched unhealthy (%v); call ClearHealth to acknowledge", n.health))
 	}
 	n.cycle = 0
-	n.signals = n.signals[:0]
 	n.sigNow = n.sigNow[:0]
-	n.credits = n.credits[:0]
-	n.fkills = n.fkills[:0]
 	n.corrupter = newCorrupter(n.cfg)
-	n.deliveries = n.deliveries[:0]
 	n.drained = n.drained[:0]
 	n.health = nil
 	n.lastProgress = 0
 	n.lastFault = -1
 	n.failEvents = 0
-	n.killsDropped, n.flitsDropped, n.flitsDegraded = 0, 0, 0
-	n.flitsInjected, n.flitsEjected = 0, 0
+	n.flitsDropped, n.flitsDegraded = 0, 0
+	n.sink.reset()
 	if n.hazard != nil {
 		n.hazard.Rewind()
 	}
-	for id := range n.links {
-		for p := range n.links[id] {
-			l := &n.links[id][p]
-			l.up = l.exists
-			l.downRefs = 0
-			l.busy = false
-			l.flits = 0
+	for i := range n.links {
+		l := &n.links[i]
+		l.up = l.exists
+		l.downRefs = 0
+		l.busy = false
+		l.flits = 0
+	}
+	for id := 0; id < n.nodes; id++ {
+		// Lazily-constructed components that exist are reset in place
+		// (keeping their buffers); absent ones are already pristine.
+		if r := n.routers[id]; r != nil {
+			r.Reset()
+		}
+		if in := n.injectors[id]; in != nil {
+			in.Reset()
+		}
+		if rc := n.receivers[id]; rc != nil {
+			rc.Reset()
 		}
 	}
-	for id := range n.routers {
-		n.routers[id].Reset()
-		n.injectors[id].Reset()
-		n.receivers[id].Reset()
-	}
-	n.busyLinks = n.busyLinks[:0]
 	n.linkScratch = n.linkScratch[:0]
 	n.activeR.reset()
 	n.activeI.reset()
@@ -448,6 +559,9 @@ func (n *Network) Reset() {
 		n.recvMark[id] = false
 	}
 	n.recvPend = n.recvPend[:0]
+	for i := range n.shards {
+		n.shards[i].reset()
+	}
 	n.hooks.Faults.Rewind()
 }
 
@@ -458,9 +572,9 @@ func (n *Network) CyclesSinceProgress() int64 { return n.cycle - n.lastProgress 
 // Links returns every existing link's id, for building fault schedules.
 func (n *Network) Links() []faults.LinkID {
 	var out []faults.LinkID
-	for id := range n.links {
-		for p := range n.links[id] {
-			if n.links[id][p].exists {
+	for id := 0; id < n.nodes; id++ {
+		for p := 0; p < n.deg; p++ {
+			if n.linkAt(id, p).exists {
 				out = append(out, faults.LinkID{Node: id, Port: p})
 			}
 		}
@@ -494,9 +608,9 @@ type LinkLoad struct {
 // start of the run, in (node, port) order.
 func (n *Network) LinkLoads() []LinkLoad {
 	var out []LinkLoad
-	for id := range n.links {
-		for p := range n.links[id] {
-			l := &n.links[id][p]
+	for id := 0; id < n.nodes; id++ {
+		for p := 0; p < n.deg; p++ {
+			l := n.linkAt(id, p)
 			if !l.exists {
 				continue
 			}
@@ -510,11 +624,14 @@ func (n *Network) LinkLoads() []LinkLoad {
 	return out
 }
 
-// RouterStats returns the sum of all routers' counters.
+// RouterStats returns the sum of all routers' counters. An
+// unconstructed (never-touched) router contributes zeros.
 func (n *Network) RouterStats() router.Stats {
 	var s router.Stats
 	for _, r := range n.routers {
-		s.Add(r.Stats())
+		if r != nil {
+			s.Add(r.Stats())
+		}
 	}
 	return s
 }
@@ -523,6 +640,9 @@ func (n *Network) RouterStats() router.Stats {
 func (n *Network) InjectorStats() core.InjStats {
 	var s core.InjStats
 	for _, in := range n.injectors {
+		if in == nil {
+			continue
+		}
 		o := in.Stats()
 		s.Submitted += o.Submitted
 		s.Completed += o.Completed
@@ -543,6 +663,9 @@ func (n *Network) InjectorStats() core.InjStats {
 func (n *Network) ReceiverStats() core.RecvStats {
 	var s core.RecvStats
 	for _, rc := range n.receivers {
+		if rc == nil {
+			continue
+		}
 		o := rc.Stats()
 		s.Delivered += o.Delivered
 		s.CorruptData += o.CorruptData
@@ -566,7 +689,9 @@ func (n *Network) DroppedKillSignals() int64 { return n.killsDropped }
 func (n *Network) QueuedMessages() int {
 	total := 0
 	for _, in := range n.injectors {
-		total += in.QueueLen()
+		if in != nil {
+			total += in.QueueLen()
+		}
 	}
 	return total
 }
@@ -575,7 +700,9 @@ func (n *Network) QueuedMessages() int {
 func (n *Network) PendingWorms() int {
 	total := 0
 	for _, r := range n.routers {
-		total += r.ActiveWormCount()
+		if r != nil {
+			total += r.ActiveWormCount()
+		}
 	}
 	return total
 }
@@ -598,9 +725,11 @@ func (n *Network) OccupancyPerVCInto(occ []int64) []int64 {
 	for vc := 0; vc < n.cfg.VCs; vc++ {
 		occ = append(occ, 0)
 	}
-	for id, r := range n.routers {
-		deg := len(n.links[id])
-		for p := 0; p < deg; p++ {
+	for _, r := range n.routers {
+		if r == nil {
+			continue
+		}
+		for p := 0; p < n.deg; p++ {
 			for vc := 0; vc < n.cfg.VCs; vc++ {
 				occ[vc] += int64(r.BufferedAt(p, vc))
 			}
@@ -613,10 +742,12 @@ func (n *Network) OccupancyPerVCInto(occ []int64) []int64 {
 // across all routers.
 func (n *Network) InjectionOccupancy() int64 {
 	var occ int64
-	for id, r := range n.routers {
-		deg := len(n.links[id])
+	for _, r := range n.routers {
+		if r == nil {
+			continue
+		}
 		for ch := 0; ch < n.cfg.InjectionChannels; ch++ {
-			occ += int64(r.BufferedAt(deg+ch, 0))
+			occ += int64(r.BufferedAt(n.deg+ch, 0))
 		}
 	}
 	return occ
@@ -625,11 +756,9 @@ func (n *Network) InjectionOccupancy() int64 {
 // InFlightFlits returns how many flits are currently crossing links.
 func (n *Network) InFlightFlits() int64 {
 	var c int64
-	for id := range n.links {
-		for p := range n.links[id] {
-			if n.links[id][p].busy {
-				c++
-			}
+	for i := range n.links {
+		if n.links[i].busy {
+			c++
 		}
 	}
 	return c
@@ -640,10 +769,8 @@ func (n *Network) InFlightFlits() int64 {
 // network-wide link utilization.
 func (n *Network) LinkFlits() int64 {
 	var c int64
-	for id := range n.links {
-		for p := range n.links[id] {
-			c += n.links[id][p].flits
-		}
+	for i := range n.links {
+		c += n.links[i].flits
 	}
 	return c
 }
@@ -651,11 +778,9 @@ func (n *Network) LinkFlits() int64 {
 // LinkCount returns the number of existing unidirectional links.
 func (n *Network) LinkCount() int {
 	c := 0
-	for id := range n.links {
-		for p := range n.links[id] {
-			if n.links[id][p].exists {
-				c++
-			}
+	for i := range n.links {
+		if n.links[i].exists {
+			c++
 		}
 	}
 	return c

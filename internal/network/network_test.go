@@ -38,7 +38,8 @@ func runUntilIdle(t *testing.T, n *Network, maxCycles int64) []core.Delivery {
 
 func anyBusy(n *Network) bool {
 	for id := 0; id < n.topo.Nodes(); id++ {
-		if n.injectors[id].Busy() {
+		// Injectors are constructed lazily; an untouched one is idle.
+		if in := n.injectors[id]; in != nil && in.Busy() {
 			return true
 		}
 	}

@@ -1,0 +1,71 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/routing"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+// Sharded-kernel benchmarks: the per-cycle cost of Network.Step at
+// three machine scales, serial (shards0) versus sharded. These are the
+// rows `make bench-sharded` records in BENCH_PR8.json.
+//
+// The interesting row is 256x256 saturated: the shard phases dominate
+// the cycle there, so on a multi-core host the sharded kernel should
+// approach GOMAXPROCS-way speedup over shards0 (minus barrier costs).
+// On a single-core host the sharded rows instead measure pure
+// orchestration overhead — goroutine fork/join and mailbox merging with
+// no parallelism to pay for it — which is also worth pinning.
+//
+// The 1024x1024 rows run at low load: a million-node network never runs
+// saturated in practice (the memory diet exists so sparse activity on a
+// huge fabric is cheap), and the benchmark cost stays bounded.
+func BenchmarkStepShard(b *testing.B) {
+	cases := []struct {
+		k      int
+		load   float64
+		warmup int64
+	}{
+		{64, 0.9, 300},
+		{256, 0.9, 120},
+		{1024, 0.05, 20},
+	}
+	for _, c := range cases {
+		for _, shards := range []int{0, 2, 4, 8} {
+			c, shards := c, shards
+			b.Run(fmt.Sprintf("k%d/shards%d", c.k, shards), func(b *testing.B) {
+				n := New(Config{
+					Topo:     topology.NewTorus(c.k, 2),
+					Alg:      routing.MinimalAdaptive{},
+					Protocol: core.CR,
+					Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+					Shards:   shards,
+					Seed:     1,
+				})
+				topo := n.Topology()
+				gen := traffic.NewGenerator(topo, traffic.Uniform{Nodes: topo.Nodes()}, c.load, 16, 1)
+				tick := func(cycle int64) {
+					for node := 0; node < topo.Nodes(); node++ {
+						if m, ok := gen.Tick(topology.NodeID(node), cycle); ok {
+							n.SubmitMessage(m)
+						}
+					}
+					n.Step()
+					n.DrainDeliveries()
+				}
+				for cyc := int64(0); cyc < c.warmup; cyc++ {
+					tick(cyc)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tick(c.warmup + int64(i))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package network
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"crnet/internal/core"
+	"crnet/internal/faults"
+	"crnet/internal/rng"
+	"crnet/internal/routing"
+	"crnet/internal/snapshot"
+	"crnet/internal/topology"
+	"crnet/internal/traffic"
+)
+
+// shardCounts is the pin matrix from the acceptance criteria, plus a
+// count that does not divide any of the random node counts (7) and the
+// host's parallelism.
+func shardCounts() []int {
+	counts := []int{1, 2, 4, 7, 8}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// TestShardedMatchesSerial is the tentpole pin: the sharded kernel must
+// reproduce the serial kernel byte for byte — same per-cycle delivery
+// stream, same cycle counts, same stats, same trace event sequence —
+// across random topologies with transient corruption, a permanent
+// fail/repair timeline, and load-coupled hazard failures all enabled,
+// for every shard count including non-dividing ones.
+func TestShardedMatchesSerial(t *testing.T) {
+	r := rng.New(0x5A4DED)
+	const configs = 6
+	for i := 0; i < configs; i++ {
+		cfg, load, msgLen := randomConfig(r, uint64(i)+8000)
+		cfg.TransientRate = 2e-3
+		cfg.Hazard = &faults.HazardSpec{
+			LinkLambda0: 2e-5,
+			NodeLambda0: 8e-6,
+			Alpha:       4,
+			LinkMTTR:    150,
+			NodeMTTR:    200,
+			EvalEvery:   32,
+			Seed:        uint64(i)*131 + 7,
+		}
+		timeline := faults.TimelineConfig{
+			Links:    LinksOf(cfg.Topo),
+			LinkMTBF: 900, LinkMTTR: 60,
+			Start: 50, Horizon: 2000,
+			Seed: uint64(i)*77 + 3,
+		}
+		name := fmt.Sprintf("cfg%02d_%s_%s", i, cfg.Topo.Name(), cfg.Protocol)
+		t.Run(name, func(t *testing.T) {
+			type tracedSnapshot struct {
+				kernelSnapshot
+				events []Event
+			}
+			run := func(shards int) tracedSnapshot {
+				c := cfg
+				c.Shards = shards
+				c.Faults = faults.RandomTimeline(timeline)
+				n := New(c)
+				var snap tracedSnapshot
+				n.SetTracer(func(ev Event) { snap.events = append(snap.events, ev) })
+				gen := traffic.NewGenerator(c.Topo, traffic.Uniform{Nodes: c.Topo.Nodes()}, load, msgLen, c.Seed+5)
+				snap.kernelSnapshot = runKernel(n, gen, 1200, 1200*60)
+				return snap
+			}
+			serial := run(0)
+			for _, s := range shardCounts() {
+				got := run(s)
+				if !reflect.DeepEqual(got.kernelSnapshot, serial.kernelSnapshot) {
+					t.Errorf("shards=%d diverged from serial:\nsharded: cycle=%d deliveries=%d inj=%+v flits=%d\nserial:  cycle=%d deliveries=%d inj=%+v flits=%d",
+						s, got.cycle, len(got.deliveries), got.inj, got.flits,
+						serial.cycle, len(serial.deliveries), serial.inj, serial.flits)
+					continue
+				}
+				if !reflect.DeepEqual(got.events, serial.events) {
+					n := len(got.events)
+					if len(serial.events) < n {
+						n = len(serial.events)
+					}
+					at := n
+					for k := 0; k < n; k++ {
+						if got.events[k] != serial.events[k] {
+							at = k
+							break
+						}
+					}
+					t.Errorf("shards=%d trace diverged at event %d of %d/%d", s, at, len(got.events), len(serial.events))
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSnapshotCrossMode pins snapshot portability across kernel
+// modes: a snapshot taken mid-run from a serial network restores into a
+// sharded one (and vice versa), and both then replay the remainder of
+// the run identically. This is why ConfigFingerprint excludes Shards.
+func TestShardedSnapshotCrossMode(t *testing.T) {
+	topo := topology.NewTorus(5, 2)
+	base := Config{
+		Topo:          topo,
+		Alg:           routing.MinimalAdaptive{},
+		Protocol:      core.FCR,
+		VCs:           2,
+		BufDepth:      2,
+		TransientRate: 1e-3,
+		Backoff:       core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+		Seed:          17,
+		Check:         true,
+	}
+	timeline := faults.TimelineConfig{
+		Links:    LinksOf(topo),
+		LinkMTBF: 700, LinkMTTR: 50,
+		Start: 20, Horizon: 1200,
+		Seed: 5,
+	}
+	newNet := func(shards int) *Network {
+		c := base
+		c.Shards = shards
+		c.Faults = faults.RandomTimeline(timeline)
+		return New(c)
+	}
+	drive := func(n *Network, from, to int64) []core.Delivery {
+		gen := traffic.NewGenerator(topo, traffic.Uniform{Nodes: topo.Nodes()}, 0.4, 7, 23)
+		var out []core.Delivery
+		for c := from; c < to; c++ {
+			for node := 0; node < topo.Nodes(); node++ {
+				if m, ok := gen.Tick(topology.NodeID(node), c); ok {
+					n.SubmitMessage(m)
+				}
+			}
+			n.Step()
+			out = append(out, n.DrainDeliveries()...)
+		}
+		return out
+	}
+	const half, full = 600, 1200
+	for _, from := range []int{0, 3} {
+		for _, to := range []int{0, 4} {
+			if from == to {
+				continue
+			}
+			t.Run(fmt.Sprintf("shards%d_to_%d", from, to), func(t *testing.T) {
+				src := newNet(from)
+				firstHalf := drive(src, 0, half)
+				var e snapshot.Encoder
+				src.SaveState(&e)
+				rest := newNet(to)
+				if err := rest.LoadState(snapshot.NewDecoder(e.Bytes())); err != nil {
+					t.Fatalf("cross-mode restore failed: %v", err)
+				}
+				// The restored network must replay the second half exactly
+				// as the unbroken source does.
+				wantSecond := drive(src, half, full)
+				gotSecond := drive(rest, half, full)
+				if !reflect.DeepEqual(gotSecond, wantSecond) {
+					t.Fatalf("restored run diverged: %d deliveries vs %d", len(gotSecond), len(wantSecond))
+				}
+				if src.Cycle() != rest.Cycle() || src.flitsDropped != rest.flitsDropped {
+					t.Fatalf("restored counters diverged: cycle %d/%d dropped %d/%d",
+						rest.Cycle(), src.Cycle(), rest.flitsDropped, src.flitsDropped)
+				}
+				_ = firstHalf
+			})
+		}
+	}
+}
+
+// TestShardedReset pins that Reset on a sharded network clears the
+// shard-local worklists and sinks: a reset sharded network replays the
+// same run as a fresh one.
+func TestShardedReset(t *testing.T) {
+	topo := topology.NewTorus(4, 2)
+	newNet := func() *Network {
+		return New(Config{
+			Topo:          topo,
+			Alg:           routing.MinimalAdaptive{},
+			Protocol:      core.CR,
+			Shards:        3, // does not divide 16
+			TransientRate: 1e-3,
+			Backoff:       core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+			Seed:          42,
+			Check:         true,
+			Faults: faults.RandomTimeline(faults.TimelineConfig{
+				Links:    LinksOf(topo),
+				LinkMTBF: 600, LinkMTTR: 40,
+				Start: 20, Horizon: 800,
+				Seed: 9,
+			}),
+		})
+	}
+	run := func(n *Network) kernelSnapshot {
+		gen := traffic.NewGenerator(topo, traffic.Uniform{Nodes: topo.Nodes()}, 0.3, 6, 123)
+		return runKernel(n, gen, 600, 600*50)
+	}
+	n := newNet()
+	first := run(n)
+	n.Reset()
+	second := run(n)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("sharded run after Reset diverged: first cycle=%d deliveries=%d, second cycle=%d deliveries=%d",
+			first.cycle, len(first.deliveries), second.cycle, len(second.deliveries))
+	}
+}
+
+// TestShardPartition pins the contiguous partition arithmetic,
+// including non-dividing counts and clamping to the node count.
+func TestShardPartition(t *testing.T) {
+	for _, tc := range []struct{ nodes, shards int }{
+		{16, 2}, {16, 7}, {25, 4}, {25, 8}, {5, 9}, {1024, 16},
+	} {
+		n := New(Config{
+			Topo:     topology.NewTorus(tc.nodes, 1),
+			Alg:      routing.MinimalAdaptive{},
+			Protocol: core.CR,
+			Backoff:  core.Backoff{Kind: core.BackoffExponential, Gap: 8},
+			Shards:   tc.shards,
+		})
+		want := tc.shards
+		if want > tc.nodes {
+			want = tc.nodes
+		}
+		if len(n.shards) != want {
+			t.Fatalf("nodes=%d shards=%d: got %d shard descriptors, want %d", tc.nodes, tc.shards, len(n.shards), want)
+		}
+		next := int32(0)
+		for i := range n.shards {
+			sh := &n.shards[i]
+			if sh.lo != next || sh.hi <= sh.lo {
+				t.Fatalf("nodes=%d shards=%d: shard %d range [%d,%d) not contiguous after %d",
+					tc.nodes, tc.shards, i, sh.lo, sh.hi, next)
+			}
+			for id := sh.lo; id < sh.hi; id++ {
+				if n.nodeShard[id] != int32(i) {
+					t.Fatalf("node %d mapped to shard %d, want %d", id, n.nodeShard[id], i)
+				}
+			}
+			next = sh.hi
+		}
+		if int(next) != tc.nodes {
+			t.Fatalf("nodes=%d shards=%d: partition covers %d nodes", tc.nodes, tc.shards, next)
+		}
+	}
+}

@@ -34,7 +34,11 @@ import (
 // ConfigFingerprint returns a 64-bit digest of the network's effective
 // configuration (defaults filled in), covering every knob that shapes
 // simulation behavior. Two networks with equal fingerprints are
-// structurally interchangeable for checkpoint/restore.
+// structurally interchangeable for checkpoint/restore. Shards is
+// deliberately excluded: the sharded kernel is byte-identical to the
+// serial one, so a snapshot taken from a serial network restores into a
+// sharded twin (and vice versa) — the worklists are saved as their
+// merged, sorted union, which both kernels accept (see saveNodeSet).
 func (n *Network) ConfigFingerprint() uint64 {
 	h := fnv.New64a()
 	c := &n.cfg
@@ -65,17 +69,17 @@ func (n *Network) SaveState(e *snapshot.Encoder) {
 	e.U64(n.ConfigFingerprint())
 	e.Varint(n.cycle)
 
-	for id := range n.links {
-		for p := range n.links[id] {
-			l := &n.links[id][p]
+	for id := 0; id < n.nodes; id++ {
+		for p := 0; p < n.deg; p++ {
+			l := n.linkAt(id, p)
 			if !l.exists {
 				continue
 			}
 			e.Bool(l.up)
-			e.Int(l.downRefs)
+			e.Int(int(l.downRefs))
 			e.Bool(l.busy)
 			if l.busy {
-				e.Int(l.vc)
+				e.Int(int(l.vc))
 				flit.PutFlit(e, &l.f)
 			}
 			e.Varint(l.flits)
@@ -93,9 +97,9 @@ func (n *Network) SaveState(e *snapshot.Encoder) {
 	e.Uvarint(uint64(len(n.credits)))
 	for _, c := range n.credits {
 		e.Varint(int64(c.node))
-		e.Int(c.port)
-		e.Int(c.vc)
-		e.Int(c.n)
+		e.Int(int(c.port))
+		e.Int(int(c.vc))
+		e.Int(int(c.n))
 	}
 	e.Uvarint(uint64(len(n.fkills)))
 	for _, f := range n.fkills {
@@ -116,16 +120,46 @@ func (n *Network) SaveState(e *snapshot.Encoder) {
 		e.Varint(d.HeadArrived)
 	}
 
-	e.Uvarint(uint64(len(n.busyLinks)))
+	// The worklists: in sharded mode they live per shard, holding only
+	// owned nodes, so concatenating them in shard order (contiguous
+	// ascending ranges) is their merged, globally ordered union — the
+	// exact sequence the serial kernel would hold. The per-shard node
+	// sets are sorted before the merge so the union is sorted with the
+	// needs-sort flag clear, which both kernels accept on load.
+	nbusy := len(n.busyLinks)
+	for i := range n.shards {
+		nbusy += len(n.shards[i].busyLinks)
+	}
+	e.Uvarint(uint64(nbusy))
 	for _, ref := range n.busyLinks {
 		e.Varint(int64(ref.node))
 		e.Varint(int64(ref.port))
 	}
-	saveNodeSet(e, &n.activeR)
-	saveNodeSet(e, &n.activeI)
-	e.Uvarint(uint64(len(n.recvPend)))
+	for i := range n.shards {
+		for _, ref := range n.shards[i].busyLinks {
+			e.Varint(int64(ref.node))
+			e.Varint(int64(ref.port))
+		}
+	}
+	if n.shards == nil {
+		saveNodeSet(e, &n.activeR)
+		saveNodeSet(e, &n.activeI)
+	} else {
+		saveMergedNodeSets(e, n.shards, func(sh *shard) *nodeSet { return &sh.activeR })
+		saveMergedNodeSets(e, n.shards, func(sh *shard) *nodeSet { return &sh.activeI })
+	}
+	npend := len(n.recvPend)
+	for i := range n.shards {
+		npend += len(n.shards[i].recvPend)
+	}
+	e.Uvarint(uint64(npend))
 	for _, id := range n.recvPend {
 		e.Varint(int64(id))
+	}
+	for i := range n.shards {
+		for _, id := range n.shards[i].recvPend {
+			e.Varint(int64(id))
+		}
 	}
 
 	n.corrupter.SaveState(e)
@@ -149,11 +183,36 @@ func (n *Network) SaveState(e *snapshot.Encoder) {
 	e.Varint(n.flitsEjected)
 	e.Varint(n.failEvents)
 
+	// Components are constructed lazily; the snapshot covers the full
+	// population, so materialize the stragglers (their state is still
+	// pristine, and a pristine component encodes its initial state).
+	n.forceConstruct()
 	for id := range n.routers {
 		n.routers[id].SaveState(e)
 		n.injectors[id].SaveState(e)
 		n.receivers[id].SaveState(e)
 	}
+}
+
+// saveMergedNodeSets writes the shard-partitioned node sets as one
+// sorted union: each shard's set is sorted in place (prepare is
+// idempotent and deterministic), and shard order concatenation of
+// contiguous ascending ranges is globally sorted, so the needs-sort
+// flag is written clear.
+func saveMergedNodeSets(e *snapshot.Encoder, shards []shard, pick func(*shard) *nodeSet) {
+	total := 0
+	for i := range shards {
+		s := pick(&shards[i])
+		s.prepare()
+		total += len(s.ids)
+	}
+	e.Uvarint(uint64(total))
+	for i := range shards {
+		for _, id := range pick(&shards[i]).ids {
+			e.Varint(int64(id))
+		}
+	}
+	e.Bool(false)
 }
 
 // saveNodeSet encodes an activity worklist verbatim: the pending ids in
@@ -208,17 +267,17 @@ func (n *Network) LoadState(d *snapshot.Decoder) error {
 	}
 	n.cycle = d.Varint()
 
-	for id := range n.links {
-		for p := range n.links[id] {
-			l := &n.links[id][p]
+	for id := 0; id < n.nodes; id++ {
+		for p := 0; p < n.deg; p++ {
+			l := n.linkAt(id, p)
 			if !l.exists {
 				continue
 			}
 			l.up = d.Bool()
-			l.downRefs = d.Int()
+			l.downRefs = int16(d.Int())
 			l.busy = d.Bool()
 			if l.busy {
-				l.vc = d.Int()
+				l.vc = uint8(d.Int())
 				l.f = flit.GetFlit(d)
 			}
 			l.flits = d.Varint()
@@ -251,10 +310,10 @@ func (n *Network) LoadState(d *snapshot.Decoder) error {
 	n.credits = n.credits[:0]
 	for i := 0; i < ncred; i++ {
 		n.credits = append(n.credits, creditEvent{
-			node: topology.NodeID(d.Varint()),
-			port: d.Int(),
-			vc:   d.Int(),
-			n:    d.Int(),
+			node: int32(d.Varint()),
+			port: int16(d.Int()),
+			vc:   uint8(d.Int()),
+			n:    int32(d.Int()),
 		})
 	}
 	nfk := d.Count(maxQueueItems)
@@ -358,6 +417,7 @@ func (n *Network) LoadState(d *snapshot.Decoder) error {
 		return err
 	}
 
+	n.forceConstruct()
 	for id := range n.routers {
 		if err := n.routers[id].LoadState(d); err != nil {
 			return err
@@ -369,7 +429,48 @@ func (n *Network) LoadState(d *snapshot.Decoder) error {
 			return fmt.Errorf("network: receiver %d: %w", id, err)
 		}
 	}
-	return d.Err()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n.redistributeWorklists()
+	return nil
+}
+
+// redistributeWorklists moves the globally-loaded worklists onto the
+// shards that own them (no-op on a serial network). LoadState decodes
+// into the global structures exactly as the serial kernel holds them;
+// splitting preserves relative order per shard, which is all the
+// sharded kernel needs (sets re-sort on prepare, busy-link and recvPend
+// entries were saved in globally ascending order).
+func (n *Network) redistributeWorklists() {
+	if n.shards == nil {
+		return
+	}
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.busyLinks = sh.busyLinks[:0]
+		sh.activeR.reset()
+		sh.activeI.reset()
+		sh.recvPend = sh.recvPend[:0]
+	}
+	for _, ref := range n.busyLinks {
+		sh := &n.shards[n.nodeShard[ref.node]]
+		sh.busyLinks = append(sh.busyLinks, ref)
+	}
+	n.busyLinks = n.busyLinks[:0]
+	for _, id := range n.activeR.ids {
+		n.shards[n.nodeShard[id]].activeR.add(id)
+	}
+	n.activeR.reset()
+	for _, id := range n.activeI.ids {
+		n.shards[n.nodeShard[id]].activeI.add(id)
+	}
+	n.activeI.reset()
+	for _, id := range n.recvPend {
+		sh := &n.shards[n.nodeShard[id]]
+		sh.recvPend = append(sh.recvPend, id)
+	}
+	n.recvPend = n.recvPend[:0]
 }
 
 // maxQueueItems bounds decoded queue lengths so a corrupt length field

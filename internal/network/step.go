@@ -38,15 +38,27 @@ import (
 // phase order matches the full scan's and cannot depend on incidental
 // insertion order. The brute-force variants (bruteForce flag) scan
 // everything exactly as the pre-worklist kernel did; the soak test
-// cross-checks the two cycle by cycle.
+// cross-checks the two cycle by cycle. With Config.Shards > 1 the
+// worklists live per shard and the node-ordered phases run on the shard
+// workers (see shard.go); every phase body here threads the executing
+// context's sink explicitly so the serial and sharded kernels share one
+// implementation of the per-node work.
 
 func (n *Network) activateRouter(id topology.NodeID) {
+	if n.shards != nil {
+		n.shards[n.nodeShard[id]].activeR.add(int32(id))
+		return
+	}
 	if !n.bruteForce {
 		n.activeR.add(int32(id))
 	}
 }
 
 func (n *Network) activateInjector(id topology.NodeID) {
+	if n.shards != nil {
+		n.shards[n.nodeShard[id]].activeI.add(int32(id))
+		return
+	}
 	if !n.bruteForce {
 		n.activeI.add(int32(id))
 	}
@@ -65,13 +77,13 @@ func (n *Network) phaseArrivals() bool {
 	n.linkScratch, n.busyLinks = n.busyLinks, n.linkScratch[:0]
 	any := false
 	for _, ref := range n.linkScratch {
-		l := &n.links[ref.node][ref.port]
+		l := n.linkAt(int(ref.node), int(ref.port))
 		if !l.busy {
 			continue // the flit was dropped by a fault after launch
 		}
 		any = true
 		if n.arrive(int(ref.node), int(ref.port), l) {
-			n.activateRouter(l.toNode)
+			n.activateRouter(topology.NodeID(l.toNode))
 		}
 	}
 	return any
@@ -80,9 +92,9 @@ func (n *Network) phaseArrivals() bool {
 func (n *Network) phaseArrivalsBrute() bool {
 	n.busyLinks = n.busyLinks[:0] // discard the (unused) worklist
 	any := false
-	for id := range n.links {
-		for p := range n.links[id] {
-			l := &n.links[id][p]
+	for id := 0; id < n.nodes; id++ {
+		for p := 0; p < n.deg; p++ {
+			l := n.linkAt(id, p)
 			if !l.busy {
 				continue
 			}
@@ -97,7 +109,9 @@ func (n *Network) phaseArrivalsBrute() bool {
 // place on the link's flit slot (so the hot path allocates nothing), the
 // flit is handed to the downstream router, and straggler absorption
 // refunds the upstream credit. It reports whether the flit reached the
-// downstream router (false when the link died mid-flight).
+// downstream router (false when the link died mid-flight). Serial
+// kernel only; the sharded kernel splits this between prepassArrivals
+// and shardArrivals.
 //
 //cr:hotpath per-flit arrival; runs once per busy link per cycle
 func (n *Network) arrive(id, p int, l *link) bool {
@@ -109,13 +123,13 @@ func (n *Network) arrive(id, p int, l *link) bool {
 	}
 	if n.corrupter.Apply(&l.f) {
 		n.flitsDegraded++
-		n.trace(EvCorrupt, l.toNode, l.toPort, l.vc, l.f.Worm, l.f.Seq)
+		n.trace(EvCorrupt, topology.NodeID(l.toNode), int(l.toPort), int(l.vc), l.f.Worm, l.f.Seq)
 	}
-	n.trace(EvArrive, l.toNode, l.toPort, l.vc, l.f.Worm, l.f.Seq)
-	if n.routers[l.toNode].AcceptFlit(l.toPort, l.vc, l.f) {
+	n.trace(EvArrive, topology.NodeID(l.toNode), int(l.toPort), int(l.vc), l.f.Worm, l.f.Seq)
+	if n.routerAt(topology.NodeID(l.toNode)).AcceptFlit(int(l.toPort), int(l.vc), l.f) {
 		// Straggler of a torn-down worm: consumed silently, credit flows
 		// back as if it had been forwarded.
-		n.credits = append(n.credits, creditEvent{node: topology.NodeID(id), port: p, vc: l.vc, n: 1})
+		n.pushCredit(&n.sink, topology.NodeID(id), p, int(l.vc), 1)
 	}
 	return true
 }
@@ -124,7 +138,8 @@ func (n *Network) arrive(id, p int, l *link) bool {
 // evaluation grid — the load-coupled hazard process. Timeline events
 // always land before hazard events at the same cycle, and the hazard
 // samples utilization signals collected this cycle, so the composite
-// event order is deterministic.
+// event order is deterministic. Always serial: event order is timeline
+// order, not node order.
 //
 //cr:hotpath fault-events phase: one Pop plus one Due check per cycle
 func (n *Network) phaseFaultEvents() {
@@ -163,14 +178,19 @@ func (n *Network) applyFaultEvent(ev faults.Event) {
 // collectHazardSignals refills the hazard scratch vectors from the live
 // counters: cumulative traversals per link (the hazard differences them
 // into a window utilization) and the buffer-occupancy fraction per
-// router. Runs only on hazard evaluation cycles.
+// router. A router never constructed has never buffered a flit, so it
+// contributes zero load. Runs only on hazard evaluation cycles.
 //
 //cr:hotpath hazard signal collection on the evaluation grid
 func (n *Network) collectHazardSignals() {
 	for i, id := range n.hazardLinks {
-		n.hazardFlits[i] = n.links[id.Node][id.Port].flits
+		n.hazardFlits[i] = n.linkAt(id.Node, id.Port).flits
 	}
 	for id, r := range n.routers {
+		if r == nil {
+			n.hazardLoad[id] = 0
+			continue
+		}
 		if cap := r.BufferCapacity(); cap > 0 {
 			n.hazardLoad[id] = float64(r.BufferedFlits()) / float64(cap)
 		} else {
@@ -182,8 +202,8 @@ func (n *Network) collectHazardSignals() {
 // forEachIncident visits every existing directed link touching node:
 // its own output links and each neighbor's link back toward it.
 func (n *Network) forEachIncident(node int, fn func(id, p int)) {
-	for p := range n.links[node] {
-		l := &n.links[node][p]
+	for p := 0; p < n.deg; p++ {
+		l := n.linkAt(node, p)
 		if !l.exists {
 			continue
 		}
@@ -196,9 +216,11 @@ func (n *Network) forEachIncident(node int, fn func(id, p int)) {
 // is actually torn down: the in-flight flit (if any) is dropped and
 // every worm holding the link is killed — backward from the upstream
 // side (so its source retries on another path) and forward from the
-// downstream side (so the orphaned fragment is reclaimed).
+// downstream side (so the orphaned fragment is reclaimed). A router
+// never constructed holds no worms and needs no sweep; it learns about
+// the dead link at construction time (see routerAt).
 func (n *Network) failLink(id, p int) {
-	l := &n.links[id][p]
+	l := n.linkAt(id, p)
 	if !l.exists {
 		return
 	}
@@ -212,22 +234,24 @@ func (n *Network) failLink(id, p int) {
 		l.busy = false
 		n.flitsDropped++
 	}
-	up := n.routers[id]
-	up.SetLinkDown(p)
-	// Tear down holders on the upstream side.
-	n.wormBuf = up.HeldWorms(p, n.wormBuf[:0])
-	for _, w := range n.wormBuf {
-		sig := router.Signal{Kind: router.KillBwd, Port: p, VC: w.VC, Worm: w.Worm}
-		n.emitBuf = up.ApplySignal(sig, n.emitBuf[:0])
-		n.routeEmits(topology.NodeID(id), n.emitBuf)
+	if up := n.routers[id]; up != nil {
+		up.SetLinkDown(p)
+		// Tear down holders on the upstream side.
+		n.wormBuf = up.HeldWorms(p, n.wormBuf[:0])
+		for _, w := range n.wormBuf {
+			sig := router.Signal{Kind: router.KillBwd, Port: p, VC: w.VC, Worm: w.Worm}
+			n.emitBuf = up.ApplySignal(sig, n.emitBuf[:0])
+			n.routeEmits(&n.sink, topology.NodeID(id), n.emitBuf)
+		}
 	}
 	// Reclaim the orphaned fragments on the downstream side.
-	down := n.routers[l.toNode]
-	n.wormBuf = down.ActiveWorms(l.toPort, n.wormBuf[:0])
-	for _, w := range n.wormBuf {
-		sig := router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: w.VC, Worm: w.Worm}
-		n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
-		n.routeEmits(l.toNode, n.emitBuf)
+	if down := n.routers[l.toNode]; down != nil {
+		n.wormBuf = down.ActiveWorms(int(l.toPort), n.wormBuf[:0])
+		for _, w := range n.wormBuf {
+			sig := router.Signal{Kind: router.KillFwd, Port: int(l.toPort), VC: w.VC, Worm: w.Worm}
+			n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
+			n.routeEmits(&n.sink, topology.NodeID(l.toNode), n.emitBuf)
+		}
 	}
 }
 
@@ -235,7 +259,7 @@ func (n *Network) failLink(id, p int) {
 // is gone the link comes back up with empty buffers and full credits.
 // Repairing an up link is a no-op.
 func (n *Network) repairLink(id, p int) {
-	l := &n.links[id][p]
+	l := n.linkAt(id, p)
 	if !l.exists || l.downRefs == 0 {
 		return
 	}
@@ -246,25 +270,44 @@ func (n *Network) repairLink(id, p int) {
 	// Any worm still occupying the downstream input (possible only if a
 	// tear-down signal racing the failure was dropped) is reclaimed now,
 	// before the state reset.
-	down := n.routers[l.toNode]
-	n.wormBuf = down.ActiveWorms(l.toPort, n.wormBuf[:0])
-	for _, w := range n.wormBuf {
-		sig := router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: w.VC, Worm: w.Worm}
-		n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
-		n.routeEmits(l.toNode, n.emitBuf)
+	if down := n.routers[l.toNode]; down != nil {
+		n.wormBuf = down.ActiveWorms(int(l.toPort), n.wormBuf[:0])
+		for _, w := range n.wormBuf {
+			sig := router.Signal{Kind: router.KillFwd, Port: int(l.toPort), VC: w.VC, Worm: w.Worm}
+			n.emitBuf = down.ApplySignal(sig, n.emitBuf[:0])
+			n.routeEmits(&n.sink, topology.NodeID(l.toNode), n.emitBuf)
+		}
+		down.ResetInput(int(l.toPort))
 	}
-	down.ResetInput(l.toPort)
 	// Scrub credit refunds queued for the dead-era output: the repair
 	// resets its credits to full, so applying them would overflow. The
-	// filter compacts in place onto the queue's own backing array.
+	// filter compacts in place onto the queue's own backing array. In
+	// sharded mode the refunds may also sit in the credit matrix —
+	// specifically in every shard's cell targeting this node's shard —
+	// so those cells are scrubbed too.
 	kept := n.credits[:0]
 	for _, c := range n.credits {
-		if int(c.node) != id || c.port != p {
+		if int(c.node) != id || int(c.port) != p {
 			kept = append(kept, c)
 		}
 	}
 	n.credits = kept
-	n.routers[id].SetLinkUp(p)
+	if n.shards != nil {
+		d := n.nodeShard[id]
+		for si := range n.shards {
+			cell := n.shards[si].outCredits[d]
+			k := cell[:0]
+			for _, c := range cell {
+				if int(c.node) != id || int(c.port) != p {
+					k = append(k, c)
+				}
+			}
+			n.shards[si].outCredits[d] = k
+		}
+	}
+	if up := n.routers[id]; up != nil {
+		up.SetLinkUp(p)
+	}
 	l.up = true
 	l.busy = false
 	n.trace(EvLinkUp, topology.NodeID(id), p, 0, 0, -1)
@@ -272,7 +315,9 @@ func (n *Network) repairLink(id, p int) {
 
 // phaseSignals delivers the tear-down signals scheduled for this cycle.
 // The queue is intrinsically activity-proportional: an idle network has
-// no signals in flight.
+// no signals in flight. Always serial: the queue's order is append
+// order from last cycle's phases, not node order, so no spatial
+// partition preserves it.
 //
 //cr:hotpath signals phase of the cycle kernel
 func (n *Network) phaseSignals() {
@@ -283,8 +328,8 @@ func (n *Network) phaseSignals() {
 		} else {
 			n.trace(EvFKill, s.node, s.sig.Port, s.sig.VC, s.sig.Worm, -1)
 		}
-		n.emitBuf = n.routers[s.node].ApplySignal(s.sig, n.emitBuf[:0])
-		n.routeEmits(s.node, n.emitBuf)
+		n.emitBuf = n.routerAt(s.node).ApplySignal(s.sig, n.emitBuf[:0])
+		n.routeEmits(&n.sink, s.node, n.emitBuf)
 	}
 }
 
@@ -297,7 +342,9 @@ func (n *Network) phaseSignals() {
 func (n *Network) phaseInjectors() {
 	if n.bruteForce {
 		for _, in := range n.injectors {
-			in.Tick(n.cycle)
+			if in != nil {
+				in.Tick(n.cycle)
+			}
 		}
 		return
 	}
@@ -321,9 +368,12 @@ func (n *Network) phaseInjectors() {
 func (n *Network) phaseAllocate() {
 	if n.bruteForce {
 		for id, r := range n.routers {
+			if r == nil {
+				continue
+			}
 			n.emitBuf = r.RouteAndAllocate(n.emitBuf[:0])
 			if len(n.emitBuf) > 0 {
-				n.routeEmits(topology.NodeID(id), n.emitBuf)
+				n.routeEmits(&n.sink, topology.NodeID(id), n.emitBuf)
 			}
 		}
 		return
@@ -333,7 +383,7 @@ func (n *Network) phaseAllocate() {
 		r := n.routers[id]
 		n.emitBuf = r.RouteAndAllocate(n.emitBuf[:0])
 		if len(n.emitBuf) > 0 {
-			n.routeEmits(topology.NodeID(id), n.emitBuf)
+			n.routeEmits(&n.sink, topology.NodeID(id), n.emitBuf)
 		}
 	}
 }
@@ -349,7 +399,10 @@ func (n *Network) phaseTransmit() bool {
 	if n.bruteForce {
 		moved := false
 		for id := range n.routers {
-			if n.transmitRouter(id) {
+			if n.routers[id] == nil {
+				continue
+			}
+			if n.transmitRouter(&n.sink, id) {
 				moved = true
 			}
 		}
@@ -358,7 +411,7 @@ func (n *Network) phaseTransmit() bool {
 	moved := false
 	kept := n.activeR.ids[:0]
 	for _, id := range n.activeR.ids {
-		if n.transmitRouter(int(id)) {
+		if n.transmitRouter(&n.sink, int(id)) {
 			moved = true
 		}
 		if n.routers[id].Busy() {
@@ -373,10 +426,11 @@ func (n *Network) phaseTransmit() bool {
 
 // transmitRouter runs one router's switch-transmission, wiring its flit
 // movements into links, receivers, the busy-link worklist and the
-// deferred credit queue.
+// deferred credit queue — all through the executing context's sink, so
+// serial and sharded transmit share this body.
 //
 //cr:hotpath per-router transmit; runs once per active router per cycle
-func (n *Network) transmitRouter(id int) bool {
+func (n *Network) transmitRouter(sk *sink, id int) bool {
 	moved := false
 	r := n.routers[id]
 	node := topology.NodeID(id)
@@ -389,16 +443,16 @@ func (n *Network) transmitRouter(id int) bool {
 		func(outPort, outVC int, f flit.Flit) {
 			moved = true
 			if outPort >= deg {
-				n.trace(EvEject, node, outPort-deg, 0, f.Worm, f.Seq)
-				n.flitsEjected++
+				n.traceTo(sk, EvEject, node, outPort-deg, 0, f.Worm, f.Seq)
+				sk.flitsEjected++
 				if !n.recvMark[id] {
 					n.recvMark[id] = true
-					n.recvPend = append(n.recvPend, int32(id))
+					sk.recvPend = append(sk.recvPend, int32(id))
 				}
-				n.receivers[id].Accept(outPort-deg, f, n.cycle)
+				n.receiverAt(node).Accept(outPort-deg, f, n.cycle)
 				return
 			}
-			l := &n.links[id][outPort]
+			l := n.linkAt(id, outPort)
 			if !l.exists {
 				panic(fmt.Sprintf("network: transmit on missing link (%d,%d)", id, outPort))
 			}
@@ -406,15 +460,15 @@ func (n *Network) transmitRouter(id int) bool {
 				panic(fmt.Sprintf("network: link (%d,%d) double-booked", id, outPort))
 			}
 			l.busy = true
-			l.vc = outVC
+			l.vc = uint8(outVC)
 			l.f = f
 			l.flits++
-			n.busyLinks = append(n.busyLinks, linkRef{node: int32(id), port: int32(outPort)})
+			sk.busyLinks = append(sk.busyLinks, linkRef{node: int32(id), port: int32(outPort)})
 		},
 		//cr:alloc non-escaping closure, stack-allocated; verified by TestSteadyStateZeroAlloc
 		func(inPort, inVC int) {
 			upNode, upPort := n.upstreamOf(node, inPort)
-			n.credits = append(n.credits, creditEvent{node: upNode, port: upPort, vc: inVC, n: 1})
+			n.pushCredit(sk, upNode, upPort, inVC, 1)
 		},
 	)
 	return moved
@@ -430,10 +484,10 @@ func (n *Network) phaseFKills() {
 	reqs := n.fkills
 	n.fkills = n.fkills[:0]
 	for _, req := range reqs {
-		r := n.routers[req.node]
+		r := n.routerAt(req.node)
 		sig := router.Signal{Kind: router.KillBwd, Port: r.EjPort(req.ch), VC: 0, Worm: req.worm}
 		n.emitBuf = r.ApplySignal(sig, n.emitBuf[:0])
-		n.routeEmits(req.node, n.emitBuf)
+		n.routeEmits(&n.sink, req.node, n.emitBuf)
 	}
 	// Deliveries are collected after tear-downs so a rejected worm can
 	// never appear in the same cycle's output.
@@ -447,7 +501,7 @@ func (n *Network) phaseFKills() {
 //cr:hotpath credits phase of the cycle kernel
 func (n *Network) phaseCredits() {
 	for _, c := range n.credits {
-		n.routers[c.node].CreditN(c.port, c.vc, c.n)
+		n.routers[c.node].CreditN(int(c.port), int(c.vc), int(c.n))
 	}
 	n.credits = n.credits[:0]
 	if n.bruteForce {
@@ -456,29 +510,31 @@ func (n *Network) phaseCredits() {
 		}
 		n.recvPend = n.recvPend[:0]
 		for id, rc := range n.receivers {
-			n.drainReceiver(id, rc)
+			if rc != nil {
+				n.drainReceiver(&n.sink, id, rc)
+			}
 		}
 		return
 	}
 	for _, id := range n.recvPend {
 		n.recvMark[id] = false
-		n.drainReceiver(int(id), n.receivers[id])
+		n.drainReceiver(&n.sink, int(id), n.receivers[id])
 	}
 	n.recvPend = n.recvPend[:0]
 }
 
 //cr:hotpath per-receiver delivery drain, once per accepting receiver per cycle
-func (n *Network) drainReceiver(id int, rc *core.Receiver) {
+func (n *Network) drainReceiver(sk *sink, id int, rc *core.Receiver) {
 	ds := rc.Drain()
 	if len(ds) == 0 {
 		return
 	}
 	if n.tracer != nil {
 		for _, d := range ds {
-			n.trace(EvDeliver, topology.NodeID(id), 0, 0, d.Worm, -1)
+			n.traceTo(sk, EvDeliver, topology.NodeID(id), 0, 0, d.Worm, -1)
 		}
 	}
-	n.deliveries = append(n.deliveries, ds...)
+	sk.deliveries = append(sk.deliveries, ds...)
 }
 
 // upstreamOf returns the node and output port feeding input port p of
@@ -494,50 +550,52 @@ func (n *Network) upstreamOf(id topology.NodeID, p int) (topology.NodeID, int) {
 // routeEmits delivers a router's tear-down side effects: further signal
 // propagation (scheduled for next cycle), credit refunds (deferred to
 // this cycle's credit phase), receiver discards and injector FKILL
-// notifications (immediate).
+// notifications (immediate). All queue appends go through sk — in a
+// parallel phase that is the emitting node's own shard sink, merged
+// into the global queues at the barrier.
 //
 //cr:hotpath tear-down emit fan-out, called from allocate/signal/fkill phases
-func (n *Network) routeEmits(node topology.NodeID, emits []router.Emit) {
+func (n *Network) routeEmits(sk *sink, node topology.NodeID, emits []router.Emit) {
 	r := n.routers[node]
 	deg := r.Degree()
 	for _, e := range emits {
 		switch e.Kind {
 		case router.EmitKillFwd:
 			if e.Port >= deg {
-				n.trace(EvDiscard, node, e.Port-deg, 0, e.Worm, -1)
-				n.receivers[node].Discard(e.Worm)
+				n.traceTo(sk, EvDiscard, node, e.Port-deg, 0, e.Worm, -1)
+				n.receiverAt(node).Discard(e.Worm)
 				continue
 			}
-			l := &n.links[node][e.Port]
+			l := n.linkAt(int(node), e.Port)
 			if !l.exists || !l.up {
 				// The downstream fragment is (or will be) reclaimed by
 				// the dead-link sweep.
-				n.killsDropped++
+				sk.killsDropped++
 				continue
 			}
-			n.signals = append(n.signals, scheduledSignal{
-				node: l.toNode,
-				sig:  router.Signal{Kind: router.KillFwd, Port: l.toPort, VC: e.VC, Worm: e.Worm},
+			sk.signals = append(sk.signals, scheduledSignal{
+				node: topology.NodeID(l.toNode),
+				sig:  router.Signal{Kind: router.KillFwd, Port: int(l.toPort), VC: e.VC, Worm: e.Worm},
 			})
 		case router.EmitKillBwd:
 			if e.Port >= deg {
 				// Reached the source injection channel.
 				n.activateInjector(node)
-				n.injectors[node].FKilled(e.Worm, n.cycle)
+				n.injectorAt(node).FKilled(e.Worm, n.cycle)
 				continue
 			}
 			upNode, upPort := n.upstreamOf(node, e.Port)
-			if !n.links[upNode][upPort].up {
-				n.killsDropped++
+			if !n.linkAt(int(upNode), upPort).up {
+				sk.killsDropped++
 				continue
 			}
-			n.signals = append(n.signals, scheduledSignal{
+			sk.signals = append(sk.signals, scheduledSignal{
 				node: upNode,
 				sig:  router.Signal{Kind: router.KillBwd, Port: upPort, VC: e.VC, Worm: e.Worm},
 			})
 		case router.EmitCredits:
 			upNode, upPort := n.upstreamOf(node, e.Port)
-			n.credits = append(n.credits, creditEvent{node: upNode, port: upPort, vc: e.VC, n: e.N})
+			n.pushCredit(sk, upNode, upPort, e.VC, e.N)
 		default:
 			panic(fmt.Sprintf("network: unknown emit kind %d", e.Kind))
 		}

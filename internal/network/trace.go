@@ -97,3 +97,19 @@ func (n *Network) trace(kind EventKind, node topology.NodeID, port, vc int, worm
 	}
 	n.tracer(Event{Cycle: n.cycle, Kind: kind, Node: node, Port: port, VC: vc, Worm: worm, Seq: seq})
 }
+
+// traceTo is trace through an execution context's sink: a shard sink
+// (deferred) buffers the event for the coordinator to replay in shard
+// order at the barrier, so sharded runs emit the exact serial event
+// sequence; the serial sink calls the tracer directly.
+func (n *Network) traceTo(sk *sink, kind EventKind, node topology.NodeID, port, vc int, worm flit.WormID, seq int) {
+	if n.tracer == nil {
+		return
+	}
+	ev := Event{Cycle: n.cycle, Kind: kind, Node: node, Port: port, VC: vc, Worm: worm, Seq: seq}
+	if sk.deferred {
+		sk.events = append(sk.events, ev)
+		return
+	}
+	n.tracer(ev)
+}

@@ -65,40 +65,56 @@ func nines(a float64) float64 {
 // fault process is load-independent and availability stays flat; as
 // alpha grows, load feeds failure intensity and the curve develops a
 // knee — the operating point past which kill-retry plus repair can no
-// longer hold the SLO. The knee column marks the first load in each
-// series whose availability falls below three nines.
+// longer hold the SLO. The final arm re-runs the steepest coupling with
+// node failures switched on as well: a failed node silences a whole
+// router (every incident link at once) instead of one channel, so the
+// same event budget buys a deeper availability hit. The knee column
+// marks the first load in each series whose availability falls below
+// three nines.
 func E29AvailabilityCurves(s Scale) *stats.Table {
 	t := stats.NewTable("E29: availability vs offered load under load-coupled failures (FCR+misroute, link MTTR=measure/8)",
-		"alpha", "offered", "fault_events", "delivered", "censored", "failed", "availability", "nines", "knee")
+		"series", "offered", "fault_events", "delivered", "censored", "failed", "availability", "nines", "knee")
 	// The baseline (alpha=0) holds full availability until the fabric's
 	// own congestion knee; raising the coupling exponent pulls the knee
-	// to lower offered loads and deepens the collapse past it.
-	alphas := []float64{0, 4, 8}
+	// to lower offered loads and deepens the collapse past it. The node
+	// arm couples router failures to load on top of the link process.
+	nodeHazard := s.e29Hazard(8)
+	nodeHazard.NodeLambda0 = 2e-7
+	nodeHazard.NodeMTTR = float64(s.Measure / 8)
+	series := []struct {
+		label  string
+		hazard *faults.HazardSpec
+	}{
+		{"alpha=0", s.e29Hazard(0)},
+		{"alpha=4", s.e29Hazard(4)},
+		{"alpha=8", s.e29Hazard(8)},
+		{"alpha=8+node", nodeHazard},
+	}
 	var pts []Point
-	for _, a := range alphas {
+	for _, sr := range series {
 		net := s.fcrNet()
 		net.MisrouteAfter = 2
 		net.MaxDetours = 4
-		net.Hazard = s.e29Hazard(a)
+		net.Hazard = sr.hazard
 		for _, load := range s.Loads {
 			pts = append(pts, Point{
-				Series: fmt.Sprintf("alpha=%g", a), Pattern: "uniform",
+				Series: sr.label, Pattern: "uniform",
 				Load: load, MsgLen: s.MsgLen, Net: net,
 			})
 		}
 	}
 	ms := s.sweep("E29", pts)
-	for ai, a := range alphas {
+	for si, sr := range series {
 		kneed := false
 		for li, load := range s.Loads {
-			m := ms[ai*len(s.Loads)+li]
+			m := ms[si*len(s.Loads)+li]
 			avail := availabilityOf(m)
 			knee := ""
 			if !kneed && avail < 0.999 {
 				kneed = true
 				knee = "<- knee (<3 nines)"
 			}
-			t.AddRow(a, load, m.FaultEventsApplied, m.Delivered, m.Censored,
+			t.AddRow(sr.label, load, m.FaultEventsApplied, m.Delivered, m.Censored,
 				m.FailedMessages, fmt.Sprintf("%.6f", avail), fmt.Sprintf("%.1f", nines(avail)), knee)
 		}
 	}

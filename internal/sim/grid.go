@@ -71,8 +71,12 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 	}
 	ms, errs := harness.SweepSafe(len(points), opt, func(i int, cancel <-chan struct{}) (Metrics, error) {
 		p := points[i]
+		net := p.Net
+		if net.Shards == 0 {
+			net.Shards = s.Shards
+		}
 		m, err := Run(Config{
-			Net:           p.Net,
+			Net:           net,
 			Pattern:       p.Pattern,
 			Load:          p.Load,
 			MsgLen:        p.MsgLen,

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"crnet/internal/faults"
+	"crnet/internal/invariant"
+	"crnet/internal/network"
+)
+
+// TestShardedRunWithHarnessAttached drives the sharded kernel through
+// the full sim harness — fault timeline, hazard coupling, transient
+// corruption, invariant watchdog, and the metrics sampler (which
+// installs a tracer) all attached — at shard counts including one that
+// does not divide the node count and the host's parallelism. It exists
+// to run under -race (see the race-sharded make target): the serial
+// phases, parallel phases, and merge barriers all execute with every
+// observer wired in, so any unsynchronized access to shared state
+// surfaces as a race report. It also pins that metrics are identical
+// to the serial kernel's even with the whole harness attached.
+func TestShardedRunWithHarnessAttached(t *testing.T) {
+	scale := Scale{K: 6, MsgLen: 8, Seed: 11}
+	base := scale.fcrNet()
+	base.VCs = 2
+	base.TransientRate = 1e-3
+	base.Check = true
+	base.Hazard = &faults.HazardSpec{
+		LinkLambda0: 2e-5,
+		Alpha:       4,
+		LinkMTTR:    120,
+		EvalEvery:   32,
+		Seed:        99,
+	}
+	timeline := faults.TimelineConfig{
+		Links:    network.LinksOf(base.Topo),
+		LinkMTBF: 800, LinkMTTR: 50,
+		Start: 100, Horizon: 1500,
+		Seed: 21,
+	}
+	run := func(shards int) Metrics {
+		net := base
+		net.Shards = shards
+		// Each run gets its own timeline: the schedule is stateful.
+		net.Faults = faults.RandomTimeline(timeline)
+		m, err := Run(Config{
+			Net:           net,
+			Load:          0.5,
+			MsgLen:        8,
+			WarmupCycles:  300,
+			MeasureCycles: 1500,
+			Seed:          7,
+			Watchdog:      &invariant.Config{CheckEvery: 32},
+			SampleEvery:   16,
+			SampleCap:     64,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return m
+	}
+	serial := run(0)
+	if serial.Delivered == 0 {
+		t.Fatal("serial reference delivered nothing")
+	}
+	if serial.Violations != 0 {
+		t.Fatalf("serial reference tripped the watchdog: %d violations", serial.Violations)
+	}
+	counts := []int{1, 2, 7}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		counts = append(counts, p)
+	}
+	for _, s := range counts {
+		s := s
+		t.Run(fmt.Sprintf("shards%d", s), func(t *testing.T) {
+			got := run(s)
+			if got.Violations != 0 {
+				t.Fatalf("watchdog recorded %d violations", got.Violations)
+			}
+			// Histogram aggregates live behind pointers; compare their
+			// sums, then zero them so the flat fields compare with ==.
+			if got.Phases.Total.Sum() != serial.Phases.Total.Sum() {
+				t.Fatalf("phase decomposition diverged: %d vs %d end-to-end cycles",
+					got.Phases.Total.Sum(), serial.Phases.Total.Sum())
+			}
+			a, b := got, serial
+			a.Phases, b.Phases = nil, nil
+			a.Series, b.Series = nil, nil
+			if a != b {
+				t.Fatalf("sharded metrics diverged from serial:\nsharded: %+v\nserial:  %+v", a, b)
+			}
+			if !reflect.DeepEqual(got.Series, serial.Series) {
+				t.Fatalf("sampled time-series diverged: %d vs %d rows",
+					got.Series.Len(), serial.Series.Len())
+			}
+		})
+	}
+}
