@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet lint staticcheck race race-harness race-sharded chaos fuzz bench bench-kernel bench-sharded alloc-gate snapshot-pin results profile
+.PHONY: verify build test vet lint staticcheck race race-harness race-sharded chaos fuzz bench bench-kernel bench-sharded bench-buffers alloc-gate snapshot-pin results profile
 
 # Tier-1: build + tests, then vet, then the custom static-invariant
 # suite, then the cycle-kernel allocation gate, then the worker pool's
@@ -153,6 +153,32 @@ bench-sharded:
 	} \
 	END { print "\n  ]\n}" }' profile/bench_sharded.txt > BENCH_PR8.json
 	@cat BENCH_PR8.json
+
+# Buffer-organization benchmarks (step cost fifo vs damq vs shared at a
+# saturated 64x64 CR torus, serial and sharded), regenerating
+# BENCH_PR9.json. The pooled organizations pay free-list pointer chasing
+# and the granted-window ledger per head/tail against the static arena's
+# modulo indexing; the sharded rows add the window advertisements riding
+# the credit mailbox matrix.
+bench-buffers:
+	@mkdir -p profile
+	$(GO) test ./internal/network/ -run '^$$' -bench BenchmarkStepBufferOrg -benchmem -count=1 -timeout 30m \
+		| tee profile/bench_buforg.txt
+	@awk 'BEGIN { \
+		print "{"; \
+		print "  \"schema\": \"kernel-bench/1\","; \
+		print "  \"benchmark\": \"internal/network BenchmarkStepBufferOrg (64x64 CR torus, 0.9 load)\","; \
+		print "  \"gomaxprocs\": "'"$$(nproc)"'","; \
+		print "  \"current\": ["; \
+	} \
+	/^BenchmarkStep/ { \
+		name = $$1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$$/, "", name); \
+		if (n++) printf ",\n"; \
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			name, $$3, $$5, $$7; \
+	} \
+	END { print "\n  ]\n}" }' profile/bench_buforg.txt > BENCH_PR9.json
+	@cat BENCH_PR9.json
 
 # Regenerate the quick-scale result tables checked into the repo.
 results:

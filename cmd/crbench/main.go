@@ -49,6 +49,7 @@ import (
 
 	"crnet/internal/harness"
 	"crnet/internal/invariant"
+	"crnet/internal/router"
 	"crnet/internal/sim"
 )
 
@@ -114,6 +115,7 @@ func run() (code int) {
 		list          = flag.Bool("list", false, "list experiments and exit")
 		parallel      = flag.Int("parallel", 0, "sweep worker pool size (0 = all cores, 1 = serial; results identical)")
 		shards        = flag.Int("shards", 0, "shard each simulated network across N workers (0/1 = serial kernel; results identical)")
+		buforg        = flag.String("buforg", "", "router buffer organization for experiments that don't pick their own: fifo (default), damq or shared — changes results")
 		timeout       = flag.Duration("point-timeout", 0, "per-sweep-point wall-clock budget (0 = unbounded); exceeded points are recorded as errors")
 		jsonOut       = flag.String("json", "", "also write a versioned JSON results artifact to this file")
 		quiet         = flag.Bool("quiet", false, "suppress progress/timing output on stderr")
@@ -156,6 +158,12 @@ func run() (code int) {
 	}
 	s.Parallel = *parallel
 	s.Shards = *shards
+	org, err := router.ParseBufferOrg(*buforg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crbench: %v\n", err)
+		return 2
+	}
+	s.BufOrg = org
 	s.PointTimeout = *timeout
 	if !*quiet {
 		s.Progress = os.Stderr

@@ -1,0 +1,94 @@
+// Package bound derives an analytical, buffer-organization-aware
+// worst-case latency estimate for one message flow through the wormhole
+// kernel, under the classic direct-interference model for wormhole
+// networks with round-robin arbitration.
+//
+// The model: a worm crossing dist hops wins dist+1 arbitrations (each
+// hop's output plus the ejection channel). At every arbitration it
+// competes with at most C-1 other channels (C = deg*VCs + injection
+// channels), and in the worst case waits for each competitor to drain
+// through the output once before round-robin order reaches it. A
+// competitor that starts moving occupies the output for its own worm
+// length, and before it can move at all it may first have to sink into
+// downstream buffering — at most Absorb flits at each of up to Diameter
+// hops, where Absorb is the organization's worst-case per-hop, per-VC
+// absorption (router.Config.AbsorbDepth: BufDepth for static FIFO, the
+// window cap for DAMQ and credit-shared pools). Once the header wins
+// its last arbitration the remaining L-1 flits stream behind it at one
+// flit per cycle.
+//
+// The estimate is conservative for direct interference but is not a
+// closed-form worst case for nested blocking chains (a competitor's
+// competitor blocking, recursively) — those are exactly the potential
+// deadlock cycles CR resolves by killing, so past the first level the
+// protocol's timeout, not queueing theory, bounds the wait. The E32
+// experiment checks the estimate empirically: at sub-saturation loads
+// the observed worst in-network residence of any delivered attempt must
+// stay under FlowBound for every buffer organization.
+package bound
+
+import "crnet/internal/core"
+
+// Model captures the network parameters the bound depends on.
+type Model struct {
+	// Degree is the router's network-port count (topology degree).
+	Degree int
+	// Diameter bounds minimal-path hop counts (topology diameter).
+	Diameter int
+	// VCs is the virtual-channel count per network port.
+	VCs int
+	// InjectionChannels is the per-node injection channel count.
+	InjectionChannels int
+	// Absorb is the organization's worst-case per-hop, per-VC flit
+	// absorption (router.Config.AbsorbDepth).
+	Absorb int
+	// MsgLen is the message length in flits, head included.
+	MsgLen int
+	// CR pads worms to the compressionless minimum (core.IminCR) when
+	// MsgLen falls short of it.
+	CR bool
+}
+
+// Competitors returns C: how many input channels can contend for one
+// output port of a router (every network VC plus the local injection
+// channels).
+func (m Model) Competitors() int {
+	return m.Degree*m.VCs + m.InjectionChannels
+}
+
+// FlowLen returns the framed worm length of a flow whose path is at
+// most dist hops: the message itself, padded to the CR minimum when the
+// protocol requires it. Padding grows with Absorb — deeper absorption
+// per hop demands a longer worm for the compressionless property to
+// certify header delivery.
+func (m Model) FlowLen(dist int) int {
+	if m.CR {
+		if imin := core.IminCR(dist, m.Absorb); imin > m.MsgLen {
+			return imin
+		}
+	}
+	return m.MsgLen
+}
+
+// HolderDrain returns the worst-case cycles one competitor occupies a
+// contended output before vacating it: first sinking into up to
+// Diameter hops of downstream buffering (Absorb flits each), then
+// passing its full worm through.
+func (m Model) HolderDrain() int {
+	return m.FlowLen(m.Diameter) + m.Absorb*m.Diameter
+}
+
+// FlowBound returns the direct-interference latency estimate for a flow
+// of at most dist hops: dist+1 arbitrations, each waiting behind up to
+// C-1 competitors draining once, plus the body streaming behind the
+// header.
+func (m Model) FlowBound(dist int) int {
+	perHop := (m.Competitors()-1)*m.HolderDrain() + 1
+	return (dist+1)*perHop + m.FlowLen(dist) - 1
+}
+
+// NetworkBound returns FlowBound at the network diameter: the estimate
+// covering every minimal-path flow in the topology.
+func (m Model) NetworkBound() int {
+	return m.FlowBound(m.Diameter)
+}

@@ -1,0 +1,94 @@
+package bound
+
+import (
+	"testing"
+
+	"crnet/internal/core"
+)
+
+// quickModel mirrors the quick-scale CR network: 8x8 torus (degree 4,
+// diameter 8), 1 VC, 1 injection channel, 16-flit messages.
+func quickModel(absorb int) Model {
+	return Model{
+		Degree:            4,
+		Diameter:          8,
+		VCs:               1,
+		InjectionChannels: 1,
+		Absorb:            absorb,
+		MsgLen:            16,
+		CR:                true,
+	}
+}
+
+func TestCompetitors(t *testing.T) {
+	m := quickModel(2)
+	if c := m.Competitors(); c != 5 {
+		t.Fatalf("Competitors = %d, want 5", c)
+	}
+	m.VCs = 4
+	m.InjectionChannels = 2
+	if c := m.Competitors(); c != 18 {
+		t.Fatalf("Competitors = %d, want 18", c)
+	}
+}
+
+func TestFlowLenPadding(t *testing.T) {
+	m := quickModel(2)
+	// IminCR(8, 2) = 19 > 16: padding governs.
+	if l, want := m.FlowLen(8), core.IminCR(8, 2); l != want {
+		t.Fatalf("FlowLen(8) = %d, want padded %d", l, want)
+	}
+	// Short paths need no padding beyond the message.
+	if l := m.FlowLen(1); l != 16 {
+		t.Fatalf("FlowLen(1) = %d, want 16", l)
+	}
+	// Without CR the message length always governs.
+	m.CR = false
+	if l := m.FlowLen(8); l != 16 {
+		t.Fatalf("plain FlowLen(8) = %d, want 16", l)
+	}
+}
+
+func TestFlowBoundStructure(t *testing.T) {
+	m := quickModel(2)
+	// The zero-contention floor: a flow is never bounded below its own
+	// serialization (one arbitration win per hop plus the body).
+	for dist := 0; dist <= m.Diameter; dist++ {
+		if b, floor := m.FlowBound(dist), dist+1+m.FlowLen(dist)-1; b < floor {
+			t.Fatalf("FlowBound(%d) = %d below serialization floor %d", dist, b, floor)
+		}
+	}
+	// Monotone in distance.
+	for dist := 1; dist <= m.Diameter; dist++ {
+		if m.FlowBound(dist) <= m.FlowBound(dist-1) {
+			t.Fatalf("FlowBound not monotone at dist %d", dist)
+		}
+	}
+	// Exact value at the quick-scale diameter: L = IminCR(8,2) = 19,
+	// drain = 19 + 2*8 = 35, per-hop = 4*35 + 1 = 141, 9 hops + 18.
+	if b := m.NetworkBound(); b != 9*141+18 {
+		t.Fatalf("NetworkBound = %d, want %d", b, 9*141+18)
+	}
+}
+
+func TestAbsorbMonotonicity(t *testing.T) {
+	// Deeper absorption (shared organizations' wider windows) can only
+	// grow the bound: longer pads, longer drains.
+	prev := 0
+	for _, absorb := range []int{1, 2, 3, 5, 8} {
+		b := quickModel(absorb).NetworkBound()
+		if b <= prev {
+			t.Fatalf("NetworkBound(absorb=%d) = %d not above %d", absorb, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestContentionMonotonicity(t *testing.T) {
+	m := quickModel(2)
+	base := m.NetworkBound()
+	m.VCs = 4
+	if m.NetworkBound() <= base {
+		t.Fatal("more competing VCs must grow the bound")
+	}
+}

@@ -61,6 +61,17 @@ type Config struct {
 	// BufDepth is the per-VC buffer depth; 0 means 2 (the paper's CR
 	// setting).
 	BufDepth int
+	// BufOrg selects the router input-buffer organization: static
+	// per-VC FIFOs (the default), per-port DAMQ pools, or one
+	// router-wide credit-shared pool (see router.BufferOrg). The slot
+	// budget is identical across organizations; they differ in how the
+	// slots may be shared.
+	BufOrg router.BufferOrg
+	// BufReserve and BufShare parameterize the shared organizations:
+	// the per-VC reserved slot minimum (0 means 1) and the sharing cap
+	// above it (0 means BufDepth). Ignored for static FIFO.
+	BufReserve int
+	BufShare   int
 	// InjectionChannels and EjectionChannels size the node interface;
 	// 0 means 1.
 	InjectionChannels int
@@ -155,14 +166,25 @@ func (c Config) routerConfig() router.Config {
 		MisrouteAfter:     c.MisrouteAfter,
 		MaxDetours:        c.MaxDetours,
 		Select:            c.Select,
+		Org:               c.BufOrg,
+		BufReserve:        c.BufReserve,
+		BufShare:          c.BufShare,
 		Check:             c.Check,
 	}
 }
 
 func (c Config) coreConfig() core.Config {
 	return core.Config{
-		Protocol:      c.Protocol,
-		BufDepth:      c.BufDepth,
+		Protocol: c.Protocol,
+		// CR/FCR padding must cover the worst per-hop, per-VC flit
+		// absorption of the buffer organization, not the nominal per-VC
+		// depth: a shared pool can grant one worm a window up to its cap
+		// at every hop, and the protocol's commit guarantee (tail held at
+		// the source until the head reaches the destination) only holds
+		// when Imin is computed from that absorption. For static FIFO
+		// AbsorbDepth == BufDepth, so the padding is unchanged; sharing
+		// buys throughput at the price of longer minimum worms.
+		BufDepth:      c.routerConfig().AbsorbDepth(c.Topo.Degree()),
 		VCs:           c.VCs,
 		Timeout:       c.Timeout,
 		Backoff:       c.Backoff,
@@ -204,11 +226,17 @@ type scheduledSignal struct {
 
 // creditEvent is a deferred credit refund, compacted like link: a
 // saturated big network queues one of these per flit moved per cycle.
+// n counts plain refunds; w carries a window delta advertised by the
+// shared buffer organizations (grants positive, release shrinks
+// negative; always 0 for static FIFO). Both are additive and commute
+// within a cycle, so the sharded kernel's credit matrix applies them
+// with no global ordering.
 type creditEvent struct {
 	node int32
 	port int16
 	vc   uint8
 	n    int32
+	w    int32
 }
 
 // fkillReq is a receiver-initiated backward tear-down.
@@ -370,6 +398,20 @@ func (n *Network) routerAt(id topology.NodeID) *router.Router {
 	if r == nil {
 		//cr:alloc lazy one-time construction on a node's first flit
 		r = router.New(id, n.topo, n.cfg.Alg, n.rcfg)
+		if n.rcfg.Org != router.OrgStaticFIFO {
+			// Shared organizations advertise window deltas back to the
+			// upstream router feeding each input port. Deltas ride the
+			// same deterministic credit queues as plain refunds; adverts
+			// originate only in phases executed by this node's owner
+			// (arrivals, transmit, signals), so sinkFor is race-free.
+			node := id
+			r.SetAdvertiser(func(port, vc, delta int) {
+				up, upPort := n.upstreamOf(node, port)
+				n.pushCreditEv(n.sinkFor(node), creditEvent{
+					node: int32(up), port: int16(upPort), vc: uint8(vc), w: int32(delta),
+				})
+			})
+		}
 		// A link that failed before this router's first touch must be
 		// reflected in the fresh router's port state (failLink skips
 		// unconstructed routers; they hold no worms to sweep).

@@ -155,9 +155,16 @@ func (n *Network) sinkFor(node topology.NodeID) *sink {
 // *destination* node's shard; on the serial sink it goes to the flat
 // queue applied at the top of the credits phase.
 func (n *Network) pushCredit(sk *sink, node topology.NodeID, port, vc, cnt int) {
-	ev := creditEvent{node: int32(node), port: int16(port), vc: uint8(vc), n: int32(cnt)}
+	n.pushCreditEv(sk, creditEvent{node: int32(node), port: int16(port), vc: uint8(vc), n: int32(cnt)})
+}
+
+// pushCreditEv queues a fully formed credit event (plain refunds and/or
+// a window-advertisement delta) through the same routing as pushCredit.
+//
+//cr:hotpath credit queueing on every flit move and window advertisement
+func (n *Network) pushCreditEv(sk *sink, ev creditEvent) {
 	if sk.outCredits != nil {
-		d := n.nodeShard[node]
+		d := n.nodeShard[ev.node]
 		sk.outCredits[d] = append(sk.outCredits[d], ev)
 		return
 	}
@@ -412,7 +419,7 @@ func (n *Network) shardFKills(sh *shard) {
 //cr:hotpath serial half of the sharded credits phase
 func (n *Network) applyGlobalCredits() {
 	for _, c := range n.credits {
-		n.routerAt(topology.NodeID(c.node)).CreditN(int(c.port), int(c.vc), int(c.n))
+		n.routerAt(topology.NodeID(c.node)).ApplyCredit(int(c.port), int(c.vc), int(c.n), int(c.w))
 	}
 	n.credits = n.credits[:0]
 }
@@ -427,7 +434,7 @@ func (n *Network) shardCredits(sh *shard, me int32) {
 	for si := range n.shards {
 		cell := n.shards[si].outCredits[me]
 		for _, c := range cell {
-			n.routers[c.node].CreditN(int(c.port), int(c.vc), int(c.n))
+			n.routers[c.node].ApplyCredit(int(c.port), int(c.vc), int(c.n), int(c.w))
 		}
 		n.shards[si].outCredits[me] = cell[:0]
 	}

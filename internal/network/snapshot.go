@@ -45,6 +45,11 @@ func (n *Network) ConfigFingerprint() uint64 {
 	fmt.Fprintf(h, "topo=%s nodes=%d alg=%s proto=%d vcs=%d buf=%d inj=%d ej=%d",
 		c.Topo.Name(), c.Topo.Nodes(), c.Alg.Name(), c.Protocol, c.VCs, c.BufDepth,
 		c.InjectionChannels, c.EjectionChannels)
+	if c.BufOrg != router.OrgStaticFIFO || c.BufReserve != 0 || c.BufShare != 0 {
+		// Appended conditionally so every pre-seam fingerprint (always
+		// static FIFO with default knobs) is unchanged.
+		fmt.Fprintf(h, " buforg=%d rsv=%d share=%d", c.BufOrg, c.BufReserve, c.BufShare)
+	}
 	fmt.Fprintf(h, " timeout=%d rtimeout=%d backoff=%d/%d/%d maxattempts=%d",
 		c.Timeout, c.RouterTimeout, c.Backoff.Kind, c.Backoff.Gap, c.Backoff.Cap, c.MaxAttempts)
 	fmt.Fprintf(h, " misroute=%d/%d select=%d pad=%d rate=%g seed=%d check=%t",
@@ -100,6 +105,7 @@ func (n *Network) SaveState(e *snapshot.Encoder) {
 		e.Int(int(c.port))
 		e.Int(int(c.vc))
 		e.Int(int(c.n))
+		e.Int(int(c.w))
 	}
 	e.Uvarint(uint64(len(n.fkills)))
 	for _, f := range n.fkills {
@@ -314,6 +320,7 @@ func (n *Network) LoadState(d *snapshot.Decoder) error {
 			port: int16(d.Int()),
 			vc:   uint8(d.Int()),
 			n:    int32(d.Int()),
+			w:    int32(d.Int()),
 		})
 	}
 	nfk := d.Count(maxQueueItems)

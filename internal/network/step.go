@@ -501,7 +501,7 @@ func (n *Network) phaseFKills() {
 //cr:hotpath credits phase of the cycle kernel
 func (n *Network) phaseCredits() {
 	for _, c := range n.credits {
-		n.routers[c.node].CreditN(int(c.port), int(c.vc), int(c.n))
+		n.routers[c.node].ApplyCredit(int(c.port), int(c.vc), int(c.n), int(c.w))
 	}
 	n.credits = n.credits[:0]
 	if n.bruteForce {

@@ -20,7 +20,7 @@ func (r *Router) RouteAndAllocate(emits []Emit) []Emit {
 		if !v.active || v.routed || v.count == 0 {
 			continue
 		}
-		head := v.front()
+		head := r.front(v)
 		if r.cfg.Check && head.Kind != flit.Head {
 			panic(fmt.Sprintf("router %d: unrouted VC (%d,%d) fronted by %v", r.id, v.p, v.vc, head))
 		}
@@ -189,15 +189,18 @@ func (r *Router) portCredit(p topology.Port) int {
 
 // candFree reports whether a candidate output VC can be claimed: link
 // alive, not held, and the downstream buffer fully drained (all credits
-// home). The credit condition keeps consecutive worms on one VC from
-// overlapping — the new head must not arrive while the previous worm's
-// tail is still buffered downstream.
+// home — credit has returned to the current window). The credit
+// condition keeps consecutive worms on one VC from overlapping — the
+// new head must not arrive while the previous worm's tail is still
+// buffered downstream. Under static FIFO the window is constant
+// BufDepth, making this the original fixed-depth test; the shared
+// organizations compare against the dynamically advertised window.
 //
 //cr:hotpath per-candidate freeness test during allocation
 func (r *Router) candFree(c routing.Candidate) bool {
 	out := &r.outs[c.Port]
 	ov := &out.vcs[c.VC]
-	return out.linkUp && !ov.held && ov.credit == r.cfg.BufDepth
+	return out.linkUp && !ov.held && ov.credit == ov.window
 }
 
 //cr:hotpath output-VC claim on every successful allocation

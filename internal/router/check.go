@@ -7,19 +7,28 @@ import "fmt"
 // cycles; production runs skip it.
 //
 // Invariants:
-//   - buffer occupancy within [0, BufDepth]
-//   - network output credits within [0, BufDepth]
+//   - buffer occupancy within [0, the VC's organization cap]
+//   - network output credits within [0, window]; static FIFO pins the
+//     window at BufDepth, the shared organizations bound it by
+//     [reserve, maxWindow]. The lower bound is unconditional because
+//     windows only shrink on a worm's normal release, which is
+//     synchronous with its final tail refund (kill teardowns freeze
+//     the tenure instead of shrinking — see Router.purge).
 //   - every held output VC's owner input VC is active, claims the same
 //     worm, and points back at the output
 //   - every routed input VC's allocated output VC is held by its worm
 //   - inactive input VCs hold no flits and no allocation
 //   - the cached buffered-flit counter matches the sum over input VCs
+//   - the buffer store's internal audit passes: slot conservation (per
+//     pool, Σ VC chain lengths + free-list length == pool size), chain
+//     lengths matching the router's occupancy counts, and the granted-
+//     window ledger within bounds (shared organizations)
 func (r *Router) CheckInvariants() error {
 	total := 0
 	for i := range r.ins {
 		v := &r.ins[i]
 		total += v.count
-		if v.count < 0 || v.count > r.cfg.BufDepth {
+		if v.count < 0 || v.count > r.store.capOf(i) {
 			return fmt.Errorf("router %d: input (%d,%d) occupancy %d", r.id, v.p, v.vc, v.count)
 		}
 		if !v.active {
@@ -42,12 +51,18 @@ func (r *Router) CheckInvariants() error {
 	if total != r.buffered {
 		return fmt.Errorf("router %d: buffered counter %d, actual %d", r.id, r.buffered, total)
 	}
+	wLo, wHi := r.cfg.initWindow(), r.cfg.maxWindow(r.deg)
 	for p := range r.outs {
 		out := &r.outs[p]
 		for vc := range out.vcs {
 			o := &out.vcs[vc]
-			if !out.ejection && (o.credit < 0 || o.credit > r.cfg.BufDepth) {
-				return fmt.Errorf("router %d: output (%d,%d) credit %d", r.id, p, vc, o.credit)
+			if !out.ejection && (o.window < wLo || o.window > wHi) {
+				return fmt.Errorf("router %d: output (%d,%d) window %d outside [%d,%d]",
+					r.id, p, vc, o.window, wLo, wHi)
+			}
+			if !out.ejection && (o.credit < 0 || o.credit > o.window) {
+				return fmt.Errorf("router %d: output (%d,%d) credit %d with window %d",
+					r.id, p, vc, o.credit, o.window)
 			}
 			if o.held {
 				v := r.in(o.ownerP, o.ownerV)
@@ -57,6 +72,9 @@ func (r *Router) CheckInvariants() error {
 				}
 			}
 		}
+	}
+	if err := r.store.check(func(j int) int { return r.ins[j].count }); err != nil {
+		return fmt.Errorf("router %d: buffer store: %w", r.id, err)
 	}
 	return nil
 }
@@ -79,8 +97,9 @@ func (r *Router) BufferedFlits() int { return r.buffered }
 
 // BufferCapacity returns the total flit capacity across every input VC
 // (network and injection buffers): the denominator that turns
-// BufferedFlits into an occupancy fraction.
-func (r *Router) BufferCapacity() int { return len(r.arena) }
+// BufferedFlits into an occupancy fraction. The slot budget is the same
+// for every buffer organization.
+func (r *Router) BufferCapacity() int { return r.store.totalSlots() }
 
 // ActiveWormCount returns how many input VCs currently host a worm.
 func (r *Router) ActiveWormCount() int {

@@ -19,9 +19,11 @@
 // Layout: all virtual-channel state lives in flat, index-addressed
 // slices — one contiguous []inVC for every input VC (network ports
 // first, injection channels after), one contiguous []outVC behind the
-// per-port output views, and a single flit-buffer arena that every
-// input VC's FIFO is a window into. Construction performs the only
-// allocations; the steady state allocates nothing.
+// per-port output views, and a bufStore (see buforg.go) holding every
+// input VC's FIFO storage under the configured buffer organization
+// (static per-VC windows, per-port DAMQ pools, or one router-wide
+// credit-shared pool). Construction performs the only allocations; the
+// steady state allocates nothing in any organization.
 //
 // Activity: Busy reports whether any flit is buffered here. A router
 // with no buffered flits has nothing to do in RouteAndAllocate or
@@ -107,6 +109,18 @@ type Config struct {
 	MaxDetours int
 	// Select chooses among free adaptive candidates (default rotating).
 	Select Selection
+	// Org selects the input-buffer organization (default static FIFO;
+	// see buforg.go).
+	Org BufferOrg
+	// BufReserve is the per-VC reserved slot minimum under the shared
+	// organizations (DAMQ, credit-shared); 0 means 1. Ignored for
+	// static FIFO.
+	BufReserve int
+	// BufShare is the per-VC sharing cap above the reserve under the
+	// shared organizations; 0 means BufDepth. A VC's window never
+	// exceeds BufReserve+BufShare (further clamped so every sibling
+	// keeps its reserve). Ignored for static FIFO.
+	BufShare int
 	// Check enables internal invariant verification after every phase;
 	// used by tests.
 	Check bool
@@ -126,17 +140,25 @@ func (c Config) validate() error {
 	if c.MisrouteAfter > 0 && c.MaxDetours < 1 {
 		return fmt.Errorf("router: misrouting enabled with MaxDetours = %d", c.MaxDetours)
 	}
+	if c.Org != OrgStaticFIFO && c.Org != OrgDAMQ && c.Org != OrgCreditShared {
+		return fmt.Errorf("router: unknown buffer org %d", c.Org)
+	}
+	if c.BufReserve < 0 || c.BufReserve > c.BufDepth {
+		return fmt.Errorf("router: BufReserve = %d with BufDepth = %d", c.BufReserve, c.BufDepth)
+	}
+	if c.BufShare < 0 {
+		return fmt.Errorf("router: BufShare = %d", c.BufShare)
+	}
 	return nil
 }
 
-// inVC is the state of one input virtual channel: a FIFO of flits plus
-// the worm claim and output allocation. The FIFO storage (buf) is a
-// window into the router's shared flit arena; p/vc record the VC's own
-// address so flat iteration needs no index arithmetic.
+// inVC is the state of one input virtual channel: the occupancy of its
+// FIFO (storage lives in the router's bufStore, addressed by the flat
+// index idx) plus the worm claim and output allocation. p/vc record the
+// VC's own address so flat iteration needs no index arithmetic.
 type inVC struct {
-	buf   []flit.Flit // circular buffer of cap BufDepth (arena window)
-	head  int
-	count int
+	idx   int32 // flat index into the router's bufStore
+	count int   // FIFO occupancy
 
 	p  int // input port this VC belongs to
 	vc int // VC index within the port
@@ -158,34 +180,40 @@ type inVC struct {
 	blocked int
 }
 
-func (v *inVC) front() *flit.Flit { return &v.buf[v.head] }
+//cr:hotpath front access during allocation and arbitration
+func (r *Router) front(v *inVC) *flit.Flit { return r.store.front(int(v.idx)) }
 
-func (v *inVC) push(f flit.Flit) {
-	if v.count == len(v.buf) {
+//cr:hotpath buffer push on every accepted or injected flit
+func (r *Router) push(v *inVC, f flit.Flit) {
+	if v.count == r.store.capOf(int(v.idx)) {
 		panic("router: input VC overflow (credit protocol violated)")
 	}
-	v.buf[(v.head+v.count)%len(v.buf)] = f
+	r.store.push(int(v.idx), v.count, f)
 	v.count++
 }
 
-func (v *inVC) pop() flit.Flit {
+//cr:hotpath buffer pop on every transmitted flit
+func (r *Router) pop(v *inVC) flit.Flit {
 	if v.count == 0 {
 		panic("router: pop from empty VC")
 	}
-	f := v.buf[v.head]
-	v.head = (v.head + 1) % len(v.buf)
+	f := r.store.pop(int(v.idx))
 	v.count--
 	return f
 }
 
 // outVC is the state of one output virtual channel: the holding worm (if
-// any) and the credit count for the downstream buffer.
+// any), the credit count for the downstream buffer, and the current
+// window — the downstream occupancy the worm may reach. For static FIFO
+// the window is constant BufDepth; the shared organizations start at the
+// reserve and move it with advertised deltas (see buforg.go).
 type outVC struct {
 	held   bool
 	worm   flit.WormID
 	ownerP int // input port of the owning worm
 	ownerV int
 	credit int
+	window int // current downstream window (credit's ceiling)
 }
 
 // output is one output physical channel with its VCs and arbitration
@@ -247,7 +275,15 @@ type Router struct {
 	// reallocated, so *inVC pointers into it stay valid for the router's
 	// lifetime.
 	ins   []inVC
-	arena []flit.Flit // backing storage for every input VC's FIFO
+	store bufStore // FIFO storage under the configured organization
+
+	// advert publishes window deltas upstream for the shared
+	// organizations (nil until SetAdvertiser; static FIFO never calls
+	// it). activeFn/emitFn are the pre-bound closures handed to
+	// bufStore.release so the hot path passes no new allocations.
+	advert   CreditAdvert
+	activeFn func(j int) bool
+	emitFn   func(j, delta int)
 
 	outs     []output // per output port; vcs window into outArena
 	outArena []outVC
@@ -284,10 +320,10 @@ func New(id topology.NodeID, topo topology.Topology, alg routing.Algorithm, cfg 
 	r := &Router{id: id, topo: topo, alg: alg, cfg: cfg, deg: deg}
 	nIn := deg*cfg.VCs + cfg.InjectionChannels
 	r.ins = make([]inVC, nIn)
-	r.arena = make([]flit.Flit, nIn*cfg.BufDepth)
+	r.store = newBufStore(cfg, deg, nIn)
 	for i := range r.ins {
 		v := &r.ins[i]
-		v.buf = r.arena[i*cfg.BufDepth : (i+1)*cfg.BufDepth]
+		v.idx = int32(i)
 		if i < deg*cfg.VCs {
 			v.p, v.vc = i/cfg.VCs, i%cfg.VCs
 		} else {
@@ -303,11 +339,13 @@ func New(id topology.NodeID, topo topology.Topology, alg routing.Algorithm, cfg 
 		if p >= deg {
 			o.ejection = true
 			o.vcs = r.outArena[deg*cfg.VCs+(p-deg) : deg*cfg.VCs+(p-deg)+1]
-			o.vcs[0] = outVC{credit: 1 << 30}
+			o.vcs[0] = outVC{credit: 1 << 30, window: 1 << 30}
 		} else {
 			o.vcs = r.outArena[p*cfg.VCs : (p+1)*cfg.VCs]
+			w := cfg.initWindow()
 			for v := range o.vcs {
-				o.vcs[v].credit = cfg.BufDepth
+				o.vcs[v].credit = w
+				o.vcs[v].window = w
 			}
 			if _, ok := topo.Neighbor(id, topology.Port(p)); !ok {
 				o.linkUp = false // unconnected mesh edge
@@ -316,6 +354,14 @@ func New(id topology.NodeID, topo topology.Topology, alg routing.Algorithm, cfg 
 	}
 	r.portBuf = make([]topology.Port, 0, deg)
 	r.linkUp = func(port topology.Port) bool { return r.outs[port].linkUp }
+	r.activeFn = func(j int) bool { return r.ins[j].active }
+	r.emitFn = func(j, delta int) {
+		if r.advert == nil {
+			return
+		}
+		v := &r.ins[j]
+		r.advert(v.p, v.vc, delta)
+	}
 	return r
 }
 
@@ -343,25 +389,27 @@ func (r *Router) numVCs(p int) int {
 func (r *Router) Reset() {
 	for i := range r.ins {
 		v := &r.ins[i]
-		v.head, v.count = 0, 0
+		v.count = 0
 		v.active, v.routed = false, false
 		v.worm = 0
 		v.outP, v.outV = -1, -1
 		v.purgeWorm, v.purgeValid = 0, false
 		v.blocked = 0
 	}
+	r.store.reset()
 	for p := range r.outs {
 		o := &r.outs[p]
 		o.rr = 0
 		if o.ejection {
 			o.linkUp = true
-			o.vcs[0] = outVC{credit: 1 << 30}
+			o.vcs[0] = outVC{credit: 1 << 30, window: 1 << 30}
 			continue
 		}
 		_, connected := r.topo.Neighbor(r.id, topology.Port(p))
 		o.linkUp = connected
+		w := r.cfg.initWindow()
 		for vc := range o.vcs {
-			o.vcs[vc] = outVC{credit: r.cfg.BufDepth}
+			o.vcs[vc] = outVC{credit: w, window: w}
 		}
 	}
 	r.buffered = 0
@@ -406,22 +454,29 @@ func (r *Router) SetLinkDown(p int) { r.outs[p].linkUp = false }
 // SetLinkUp restores the outgoing link on network port p after a repair:
 // the link comes back with no holders and a fully drained downstream
 // buffer (the network resets the downstream input side in the same
-// event), so every virtual channel is immediately claimable.
+// event, which returns every downstream window to the reserve), so
+// every virtual channel is immediately claimable at its initial window.
 func (r *Router) SetLinkUp(p int) {
 	out := &r.outs[p]
 	out.linkUp = true
+	w := r.cfg.initWindow()
 	for vc := range out.vcs {
 		o := &out.vcs[vc]
 		o.held = false
-		o.credit = r.cfg.BufDepth
+		o.credit = w
+		o.window = w
 	}
 }
 
 // ResetInput clears the residue of a dead upstream link from network
 // input port p after a repair: straggler-absorber markers and blocked
-// counters are dropped. Active worms must already have been torn down
-// (the network sweeps ActiveWorms before calling this); buffered flits
-// of live worms would be a protocol violation.
+// counters are dropped, and any window grant stranded by a kill
+// teardown is silently returned to the reserve — the repair path resets
+// the upstream window to the reserve too (SetLinkUp), so the mirror is
+// restored on both ends without an advertisement. Active worms must
+// already have been torn down (the network sweeps ActiveWorms before
+// calling this); buffered flits of live worms would be a protocol
+// violation.
 func (r *Router) ResetInput(p int) {
 	for vc := 0; vc < r.numVCs(p); vc++ {
 		v := r.in(p, vc)
@@ -431,6 +486,7 @@ func (r *Router) ResetInput(p int) {
 		v.purgeValid = false
 		v.purgeWorm = 0
 		v.blocked = 0
+		r.store.resetGrant(int(v.idx))
 	}
 }
 
@@ -468,7 +524,7 @@ func (r *Router) Inject(ch int, f flit.Flit) {
 	} else if !v.active || v.worm != f.Worm {
 		panic(fmt.Sprintf("router %d: injected body flit of worm %d into channel owned by %d", r.id, f.Worm, v.worm))
 	}
-	v.push(f)
+	r.push(v, f)
 	r.buffered++
 }
 
@@ -492,10 +548,15 @@ func (r *Router) AcceptFlit(p, vc int, f flit.Flit) bool {
 		v.routed = false
 		v.purgeValid = false
 		v.blocked = 0
+		// Shared organizations grow the VC's window on head acceptance
+		// and advertise the delta upstream (a no-op for static FIFO).
+		if g := r.store.grantOnHead(int(v.idx)); g > 0 && r.advert != nil {
+			r.advert(p, vc, g)
+		}
 	} else if r.cfg.Check && (!v.active || v.worm != f.Worm) {
 		panic(fmt.Sprintf("router %d: body flit %v arrived on VC (%d,%d) not owned by its worm", r.id, f, p, vc))
 	}
-	v.push(f)
+	r.push(v, f)
 	r.buffered++
 	return false
 }

@@ -66,9 +66,23 @@ type Emit struct {
 }
 
 // purge discards every buffered flit of v and returns the count.
+//
+// The shared organizations deliberately do NOT shrink the VC's granted
+// window here: a kill can race a same-cycle claim of the freed upstream
+// output VC (the upstream sees held clear in the signals phase and
+// reclaims with the dead worm's credit==window in the same cycle's
+// allocate phase, before any shrink event could arrive). Shrinking on
+// purge would then leave the new worm streaming against a window larger
+// than the downstream grant. Instead the grant tenure freezes across a
+// kill — upstream window and downstream granted stay mirrored at the
+// dead worm's level — and shrinks only on the next worm's normal
+// release, which is synchronous with its final tail refund and
+// therefore race-free. The cost is shared budget stranded on a killed
+// channel until it hosts its next worm; the benefit is that
+// credit ∈ [0, window] holds unconditionally.
 func (r *Router) purge(v *inVC) int {
 	n := v.count
-	v.head = 0
+	r.store.purge(int(v.idx))
 	v.count = 0
 	r.buffered -= n
 	r.stats.PurgedFlits += int64(n)
@@ -207,10 +221,15 @@ func (r *Router) BlockedWorms(min int, buf []BlockedWorm) []BlockedWorm {
 }
 
 // Credit refunds one downstream buffer credit to output port p, VC vc.
+// The overflow check is exact only for static FIFO, where the window is
+// the constant BufDepth; the shared organizations can interleave plain
+// refunds with window shrinks inside one credit phase, so their
+// end-of-cycle bound (credit <= window) is asserted by CheckInvariants
+// instead.
 func (r *Router) Credit(p, vc int) {
 	o := &r.outs[p].vcs[vc]
 	o.credit++
-	if r.cfg.Check && !r.outs[p].ejection && o.credit > r.cfg.BufDepth {
+	if r.cfg.Check && r.cfg.Org == OrgStaticFIFO && !r.outs[p].ejection && o.credit > r.cfg.BufDepth {
 		panic(fmt.Sprintf("router %d: credit overflow on output (%d,%d)", r.id, p, vc))
 	}
 }
@@ -219,5 +238,31 @@ func (r *Router) Credit(p, vc int) {
 func (r *Router) CreditN(p, vc, n int) {
 	for i := 0; i < n; i++ {
 		r.Credit(p, vc)
+	}
+}
+
+// CreditAdvert publishes a downstream window delta for this router's
+// input (port, vc) back to the upstream router feeding it. The network
+// installs one per router (shared organizations only); deltas ride the
+// same deterministic credit queues as plain refunds, so they commute
+// with them inside a cycle and need no global ordering in the sharded
+// kernel.
+type CreditAdvert func(port, vc, delta int)
+
+// SetAdvertiser installs the window-advertisement sink. A nil
+// advertiser (the default) drops deltas, which is sound: the upstream
+// window then stays at the reserve and the downstream ledger simply
+// over-grants locally.
+func (r *Router) SetAdvertiser(a CreditAdvert) { r.advert = a }
+
+// ApplyCredit applies one credit event to output (p, vc): n plain
+// refunds plus a window delta w (grants are positive, release shrinks
+// negative). Plain credit application is ApplyCredit(p, vc, n, 0).
+func (r *Router) ApplyCredit(p, vc, n, w int) {
+	o := &r.outs[p].vcs[vc]
+	o.credit += n + w
+	o.window += w
+	if r.cfg.Check && r.cfg.Org == OrgStaticFIFO && !r.outs[p].ejection && o.credit > r.cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: credit overflow on output (%d,%d)", r.id, p, vc))
 	}
 }

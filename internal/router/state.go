@@ -9,26 +9,34 @@ import (
 
 // Checkpoint codec for the router. Every mutable field is encoded in a
 // fixed order: per-input-VC FIFO contents (logical order) plus worm
-// claim, allocation and purge state; per-output round-robin pointers,
-// link liveness and output VC credit/holder state; the allocation
-// rotation; the event counters; and the livelock-watchdog watermark.
-// Structural state (arena layout, port geometry, the linkUp closure)
-// is reconstructed by New from configuration and is not serialized.
+// claim, allocation and purge state; the buffer organization's extra
+// ledger (granted windows and grant rotation — empty for static FIFO);
+// per-output round-robin pointers, link liveness and output VC
+// window/credit/holder state; the allocation rotation; the event
+// counters; and the livelock-watchdog watermark. Structural state
+// (store geometry, port layout, the linkUp closure) is reconstructed by
+// New from configuration and is not serialized.
 //
-// The circular FIFOs are written front-to-back and restored with
-// head=0: only the logical order is observable (push and pop address
-// slots relative to head), so normalizing the head is behavior-
-// preserving and makes the encoding independent of buffer history.
+// FIFOs are written front-to-back and restored into a freshly reset
+// store: only the logical order is observable (push and pop address
+// slots relative to the front), so slot placement and free-list order
+// are rebuilt canonically on load instead of being serialized — the
+// encoding is independent of buffer history in every organization.
+//
+// LoadState range-validates everything a corrupt or hostile snapshot
+// could use to break the kernel: per-VC counts against the
+// organization's cap (Decoder.Count), aggregate occupancy against pool
+// capacity (loadVC fails when a pool runs out of slots even though each
+// VC's count was individually plausible), the granted-window ledger
+// against [reserve, maxWindow] and pool budget (loadExtra), and output
+// credit/window pairs against 0 <= credit <= window <= maxWindow.
 
 // SaveState appends the router's mutable state to a snapshot.
 func (r *Router) SaveState(e *snapshot.Encoder) {
 	for i := range r.ins {
 		v := &r.ins[i]
 		e.Uvarint(uint64(v.count))
-		for k := 0; k < v.count; k++ {
-			f := v.buf[(v.head+k)%len(v.buf)]
-			flit.PutFlit(e, &f)
-		}
+		r.store.saveVC(e, i, v.count)
 		e.Bool(v.active)
 		e.U64(uint64(v.worm))
 		e.Bool(v.routed)
@@ -38,6 +46,7 @@ func (r *Router) SaveState(e *snapshot.Encoder) {
 		e.Bool(v.purgeValid)
 		e.Int(v.blocked)
 	}
+	r.store.saveExtra(e)
 	for p := range r.outs {
 		o := &r.outs[p]
 		e.Int(o.rr)
@@ -49,6 +58,7 @@ func (r *Router) SaveState(e *snapshot.Encoder) {
 			e.Int(ov.ownerP)
 			e.Int(ov.ownerV)
 			e.Int(ov.credit)
+			e.Int(ov.window)
 		}
 	}
 	e.Int(r.allocRR)
@@ -75,16 +85,17 @@ func (r *Router) SaveState(e *snapshot.Encoder) {
 // total buffered count is recomputed from the restored FIFOs.
 func (r *Router) LoadState(d *snapshot.Decoder) error {
 	buffered := 0
+	r.store.reset()
 	for i := range r.ins {
 		v := &r.ins[i]
-		count := d.Count(len(v.buf))
+		count := d.Count(r.store.capOf(i))
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("router %d: input VC %d: %w", r.id, i, err)
 		}
-		for k := 0; k < count; k++ {
-			v.buf[k] = flit.GetFlit(d)
+		if err := r.store.loadVC(d, i, count); err != nil {
+			return fmt.Errorf("router %d: input VC %d: %w", r.id, i, err)
 		}
-		v.head, v.count = 0, count
+		v.count = count
 		buffered += count
 		v.active = d.Bool()
 		v.worm = flit.WormID(d.U64())
@@ -95,6 +106,10 @@ func (r *Router) LoadState(d *snapshot.Decoder) error {
 		v.purgeValid = d.Bool()
 		v.blocked = d.Int()
 	}
+	if err := r.store.loadExtra(d); err != nil {
+		return fmt.Errorf("router %d: buffer store: %w", r.id, err)
+	}
+	wLo, wHi := r.cfg.initWindow(), r.cfg.maxWindow(r.deg)
 	for p := range r.outs {
 		o := &r.outs[p]
 		o.rr = d.Int()
@@ -106,6 +121,14 @@ func (r *Router) LoadState(d *snapshot.Decoder) error {
 			ov.ownerP = d.Int()
 			ov.ownerV = d.Int()
 			ov.credit = d.Int()
+			ov.window = d.Int()
+			if d.Err() != nil {
+				break
+			}
+			if !o.ejection && (ov.credit < 0 || ov.credit > ov.window || ov.window < wLo || ov.window > wHi) {
+				return fmt.Errorf("router %d: output (%d,%d) credit %d / window %d outside bounds [%d,%d]",
+					r.id, p, vc, ov.credit, ov.window, wLo, wHi)
+			}
 		}
 	}
 	r.buffered = buffered

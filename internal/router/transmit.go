@@ -68,7 +68,7 @@ func (r *Router) Transmit(moveFlit func(outPort, outVC int, f flit.Flit), credit
 		v := winV
 		ov := &out.vcs[win]
 		out.rr = (out.rr + winKey + 1) % n
-		f := v.pop()
+		f := r.pop(v)
 		r.buffered--
 		if !out.ejection {
 			ov.credit--
@@ -82,6 +82,10 @@ func (r *Router) Transmit(moveFlit func(outPort, outVC int, f flit.Flit), credit
 			v.active = false
 			v.routed = false
 			v.outP, v.outV = -1, -1
+			// The worm has fully left this input VC: shrink its shared
+			// window back to the reserve and re-grant the freed budget to
+			// active siblings (no-op for static FIFO).
+			r.store.release(int(v.idx), r.activeFn, r.emitFn)
 		}
 		if v.p < r.deg {
 			creditFlit(v.p, v.vc)

@@ -8,6 +8,7 @@ import (
 	"crnet/internal/core"
 	"crnet/internal/harness"
 	"crnet/internal/network"
+	"crnet/internal/router"
 	"crnet/internal/routing"
 	"crnet/internal/stats"
 	"crnet/internal/topology"
@@ -40,6 +41,13 @@ type Scale struct {
 	// byte-identical for every value — the sharded kernel is pinned
 	// against the serial one — so Shards only changes wall-clock.
 	Shards int
+	// BufOrg overrides the router buffer organization for every sweep
+	// point whose network config keeps the static default (points that
+	// pick an organization themselves — the E31 axis — are left alone).
+	// Unlike Shards this DOES change results: it is the crbench -buforg
+	// axis for re-running experiments under DAMQ or credit-shared
+	// buffers.
+	BufOrg router.BufferOrg
 	// Progress, when non-nil, receives per-sweep progress lines
 	// (points done/total, ETA) — normally os.Stderr so stdout stays
 	// comparable between runs.
@@ -122,6 +130,9 @@ func (s Scale) dorNet(lanes, bufDepth int) network.Config {
 }
 
 func (s Scale) run(net network.Config, pattern string, load float64, msgLen int) Metrics {
+	if net.BufOrg == router.OrgStaticFIFO {
+		net.BufOrg = s.BufOrg
+	}
 	m, err := Run(Config{
 		Net:           net,
 		Pattern:       pattern,
@@ -178,6 +189,8 @@ var Experiments = []Experiment{
 	{"E28", "Kill-resume equivalence: checkpoint/restore vs unbroken run", "Checkpoint subsystem validation", E28KillResume},
 	{"E29", "Availability vs load under load-coupled failures", "Sec. 6.2 extension (reliability SLO)", E29AvailabilityCurves},
 	{"E30", "Degradation soak: controller on vs off", "Sec. 6.2 extension (graceful degradation)", E30DegradationSoak},
+	{"E31", "Buffer organizations: static FIFO vs DAMQ vs credit-shared", "Sec. 5 buffer design extension", E31BufferOrgs},
+	{"E32", "Analytical latency bound vs observed residence per organization", "Sec. 4 analysis extension", E32LatencyBound},
 }
 
 // ChaosExperiments lists the chaos/robustness subset selected by

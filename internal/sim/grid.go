@@ -4,6 +4,7 @@ import (
 	"crnet/internal/harness"
 	"crnet/internal/invariant"
 	"crnet/internal/network"
+	"crnet/internal/router"
 	"crnet/internal/traffic"
 )
 
@@ -74,6 +75,9 @@ func (s Scale) sweep(label string, points []Point) []Metrics {
 		net := p.Net
 		if net.Shards == 0 {
 			net.Shards = s.Shards
+		}
+		if net.BufOrg == router.OrgStaticFIFO {
+			net.BufOrg = s.BufOrg
 		}
 		m, err := Run(Config{
 			Net:           net,

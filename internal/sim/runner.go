@@ -116,6 +116,13 @@ type Metrics struct {
 	P99Latency int64
 	MaxLatency int64
 
+	// MaxNetResidence is the worst observed in-network residence of a
+	// delivered window message: injection of the delivered attempt to
+	// tail drained (the flight + drain phases). Queueing and retries are
+	// excluded, so this is the quantity the analytical per-flow bound
+	// (internal/bound, experiment E32) speaks about.
+	MaxNetResidence int64
+
 	// Phase latency decomposition: mean cycles per delivered window
 	// message spent in each phase. The four phases partition AvgLatency
 	// exactly (see obs.PhaseBreakdown): Queue is creation to first
@@ -321,6 +328,7 @@ func RunWithNetwork(cfg Config) (Metrics, *network.Network, error) {
 	drainEnd := measureEnd + cfg.DrainCycles
 
 	var delivered, corrupt, shed int64
+	var maxNetResidence int64
 	var abortErr error
 loop:
 	for cycle := int64(0); cycle < drainEnd; cycle++ {
@@ -360,6 +368,9 @@ loop:
 			l := d.Time - created
 			lat.Add(float64(l))
 			hist.Add(l)
+			if nr := d.Time - d.Stamps.AttemptInject; nr > maxNetResidence {
+				maxNetResidence = nr
+			}
 			phases.Add(d.Stamps.FirstInject-created,
 				d.Stamps.AttemptInject-d.Stamps.FirstInject,
 				d.HeadArrived-d.Stamps.AttemptInject,
@@ -413,6 +424,7 @@ loop:
 		P95Latency:       hist.Percentile(0.95),
 		P99Latency:       hist.Percentile(0.99),
 		MaxLatency:       hist.Max(),
+		MaxNetResidence:  maxNetResidence,
 		QueueLatency:     phases.Queue.Mean(),
 		RetryLatency:     phases.Retry.Mean(),
 		FlightLatency:    phases.Flight.Mean(),

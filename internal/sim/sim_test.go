@@ -134,8 +134,8 @@ func TestScaleConfigs(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments) != 30 {
-		t.Fatalf("%d experiments registered, want 30", len(Experiments))
+	if len(Experiments) != 32 {
+		t.Fatalf("%d experiments registered, want 32", len(Experiments))
 	}
 	for _, id := range ChaosExperiments {
 		if _, ok := ByID(id); !ok {
@@ -169,7 +169,7 @@ var expectedColumns = map[string]int{
 	"E8": 6, "E9": 6, "E10": 5, "E11": 8, "E12": 6, "E13": 5, "E14": 4,
 	"E15": 6, "E16": 5, "E17": 7, "E18": 6, "E19": 6, "E20": 6, "E21": 5,
 	"E22": 6, "E23": 6, "E24": 4, "E25": 9, "E26": 8, "E27": 8, "E28": 6,
-	"E29": 9, "E30": 4,
+	"E29": 9, "E30": 4, "E31": 6, "E32": 8,
 }
 
 // Every experiment driver must run end to end and produce a non-empty,

@@ -37,7 +37,11 @@ const Magic = "CRSNAP01"
 // FormatVersion is the payload schema version written into the header.
 // Bump it whenever any SaveState encoding changes so old readers refuse
 // new checkpoints instead of misreading them.
-const FormatVersion = 2
+//
+// Version 3 (buffer organizations): the router payload gains a per-VC
+// store section, a per-organization window/grant ledger and a window
+// field per output VC, and credit events carry a window delta.
+const FormatVersion = 3
 
 const headerSize = len(Magic) + 4 + 8 + 8 // magic + version + cycle + length
 
