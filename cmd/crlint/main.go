@@ -1,13 +1,15 @@
 // Command crlint is the repo's static invariant gate: a multichecker
 // for the custom analyzers under internal/analysis that enforce the
 // simulator's determinism (detmap), cycle-time purity (wallclock),
-// seed-derivation discipline (rngsource) and hot-path allocation
-// freedom (hotalloc). See DESIGN.md §6 for why these are load-bearing.
+// seed-derivation discipline (rngsource), hot-path allocation freedom
+// (hotalloc), snapshot coverage (snapfields) and shard isolation
+// (shardsafe). See DESIGN.md §6 for why these are load-bearing.
 //
 // Standalone:
 //
 //	go run ./cmd/crlint ./...        # lint the module (make lint does this)
 //	crlint ./internal/network/...    # lint a subtree
+//	crlint -json ./...               # machine-readable findings (CI artifact)
 //
 // As a vet tool (the same binary speaks the `go vet -vettool`
 // unitchecker protocol: the -V=full/-flags handshake plus *.cfg
@@ -23,6 +25,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +36,8 @@ import (
 	"crnet/internal/analysis/detmap"
 	"crnet/internal/analysis/hotalloc"
 	"crnet/internal/analysis/rngsource"
+	"crnet/internal/analysis/shardsafe"
+	"crnet/internal/analysis/snapfields"
 	"crnet/internal/analysis/wallclock"
 )
 
@@ -43,6 +48,8 @@ var analyzers = []*analysis.Analyzer{
 	wallclock.Analyzer,
 	rngsource.Analyzer,
 	hotalloc.Analyzer,
+	snapfields.Analyzer,
+	shardsafe.Analyzer,
 }
 
 func main() {
@@ -72,8 +79,9 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 
 	fs := flag.NewFlagSet("crlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of the human format")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: crlint [packages]")
+		fmt.Fprintln(stderr, "usage: crlint [-json] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -94,14 +102,54 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "crlint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "crlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "crlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable shape -json emits, one element
+// per finding; CI uploads the array as an artifact and turns it into
+// source annotations. Escape names the //cr: annotation that would
+// justify the finding ("" when none applies).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Escape   string `json:"escape,omitempty"`
+}
+
+// writeJSON renders findings (already position-sorted by analysis.Run)
+// as an indented JSON array; an empty run prints [] so consumers can
+// always parse the output.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Col:      f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Escape:   f.Escape,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selfID hashes the executable so `go vet` re-runs the tool whenever it

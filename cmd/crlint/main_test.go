@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -54,6 +56,56 @@ func TestFindingsExitStatus(t *testing.T) {
 	}
 }
 
+// TestOutputFormats pins the two output formats against each other: the
+// -json array must carry exactly the findings the human format prints,
+// with file/line/col/analyzer/message round-tripping into the human
+// line shape and the escape field naming the //cr: annotation that
+// would justify each finding.
+func TestOutputFormats(t *testing.T) {
+	const fixture = "./internal/analysis/snapfields/testdata/src/core/"
+	var human, errw bytes.Buffer
+	if code := run([]string{fixture}, "../..", &human, &errw); code != 1 {
+		t.Fatalf("human lint exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, human.String(), errw.String())
+	}
+	var jsonOut bytes.Buffer
+	errw.Reset()
+	if code := run([]string{"-json", fixture}, "../..", &jsonOut, &errw); code != 1 {
+		t.Fatalf("-json lint exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, jsonOut.String(), errw.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(jsonOut.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, jsonOut.String())
+	}
+	humanLines := strings.Split(strings.TrimSpace(human.String()), "\n")
+	if len(findings) == 0 || len(findings) != len(humanLines) {
+		t.Fatalf("-json carries %d findings, human format %d lines", len(findings), len(humanLines))
+	}
+	for i, f := range findings {
+		want := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		if humanLines[i] != want {
+			t.Errorf("finding %d mismatch:\nhuman: %s\njson:  %s", i, humanLines[i], want)
+		}
+		if f.Analyzer != "snapfields" {
+			t.Errorf("finding %d analyzer = %q, want snapfields", i, f.Analyzer)
+		}
+		if f.Escape != "nosnap" {
+			t.Errorf("finding %d escape = %q, want nosnap", i, f.Escape)
+		}
+	}
+}
+
+// TestJSONEmptyArray checks a clean run emits [] (not null), so CI
+// consumers can always parse the artifact.
+func TestJSONEmptyArray(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", "./internal/flit/"}, "../..", &out, &errw); code != 0 {
+		t.Fatalf("-json on clean package exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("-json clean output %q, want []", out.String())
+	}
+}
+
 // buildSelf compiles the crlint binary once for vettool tests.
 func buildSelf(t *testing.T) string {
 	t.Helper()
@@ -99,6 +151,72 @@ func Jitter() int { return rand.Intn(8) }
 	}
 	if !strings.Contains(string(outb), "math/rand imported in simulation-core") {
 		t.Errorf("vet output missing rngsource diagnostic:\n%s", outb)
+	}
+}
+
+// TestVettoolFindsSnapfields plants a codec that drops a field in a
+// scratch module's simulation core and expects the vet protocol to
+// surface the snapfields diagnostic.
+func TestVettoolFindsSnapfields(t *testing.T) {
+	bin := buildSelf(t)
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module crnet\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(mod, "internal", "core", "core.go"), `package core
+
+type enc struct{ buf []int }
+
+func (e *enc) put(v int) { e.buf = append(e.buf, v) }
+
+type dec struct{ i int }
+
+func (d *dec) get() int { d.i++; return d.i }
+
+type counter struct {
+	hits int
+	miss int
+}
+
+func (c *counter) SaveState(e *enc) { e.put(c.hits) }
+func (c *counter) LoadState(d *dec) { c.hits = d.get() }
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/core/")
+	cmd.Dir = mod
+	outb, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on dropped-field codec succeeded; want failure\n%s", outb)
+	}
+	if !strings.Contains(string(outb), "field counter.miss is not referenced") {
+		t.Errorf("vet output missing snapfields diagnostic:\n%s", outb)
+	}
+}
+
+// TestVettoolFindsShardsafe plants a shard* phase body writing shared
+// network state in a scratch module and expects the vet protocol to
+// surface the shardsafe diagnostic.
+func TestVettoolFindsShardsafe(t *testing.T) {
+	bin := buildSelf(t)
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module crnet\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(mod, "internal", "network", "network.go"), `package network
+
+type Network struct {
+	shards []int
+	cycle  int
+}
+
+func (n *Network) shardWorker(si int) {
+	n.shards[si]++
+	n.cycle++
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/network/")
+	cmd.Dir = mod
+	outb, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on shard-unsafe package succeeded; want failure\n%s", outb)
+	}
+	if !strings.Contains(string(outb), "write to shared Network.cycle") {
+		t.Errorf("vet output missing shardsafe diagnostic:\n%s", outb)
 	}
 }
 

@@ -55,11 +55,23 @@ type Pass struct {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Escape names the //cr: annotation that would justify this finding
+	// ("orderinvariant", "nosnap", ...), without the prefix. Machine
+	// consumers (crlint -json) surface it so tooling can distinguish
+	// "annotate here" findings from structural ones; the human format
+	// leaves it to the message text. Empty when no annotation applies.
+	Escape string
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportfEscape reports a formatted diagnostic at pos tagged with the
+// //cr: annotation name that would justify it (see Diagnostic.Escape).
+func (p *Pass) ReportfEscape(pos token.Pos, escape, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Escape: escape})
 }
 
 // CorePath reports the simulation-core import path the pass's package
@@ -83,6 +95,8 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // traffic generators' wall-clock-free subsets are deliberately absent:
 // harness measures real wall time and owns os-level concerns. faults is
 // in: the load-coupled hazard process draws inside the cycle loop.
+// stats is in: Welford/histogram accumulators run per-cycle and their
+// state rides in snapshots, so the same invariants apply.
 var corePrefixes = []string{
 	"crnet/internal/core",
 	"crnet/internal/router",
@@ -94,6 +108,7 @@ var corePrefixes = []string{
 	"crnet/internal/invariant",
 	"crnet/internal/snapshot",
 	"crnet/internal/faults",
+	"crnet/internal/stats",
 }
 
 // CorePackage reports whether pkgPath is (or, for analyzer test

@@ -49,14 +49,14 @@ func run(pass *analysis.Pass) error {
 			}
 			if ann, ok := pass.Annotated(rs, "orderinvariant"); ok {
 				if ann.Reason == "" {
-					pass.Reportf(rs.Pos(), "//cr:orderinvariant needs a justification (why is this loop order-insensitive?)")
+					pass.ReportfEscape(rs.Pos(), "orderinvariant", "//cr:orderinvariant needs a justification (why is this loop order-insensitive?)")
 				}
 				return true
 			}
 			if clearingLoop(rs) {
 				return true
 			}
-			pass.Reportf(rs.Pos(),
+			pass.ReportfEscape(rs.Pos(), "orderinvariant",
 				"range over map %s iterates in nondeterministic order in simulation-core package %s; iterate sorted keys or annotate //cr:orderinvariant with a justification",
 				types.ExprString(rs.X), pass.CorePath())
 			return true

@@ -91,11 +91,11 @@ func (w *walker) report(n ast.Node, format string, args ...any) {
 	}
 	if ann, ok := w.pass.Annotated(n, "alloc"); ok {
 		if ann.Reason == "" {
-			w.pass.Reportf(n.Pos(), "//cr:alloc needs a justification (why is this allocation cold?)")
+			w.pass.ReportfEscape(n.Pos(), "alloc", "//cr:alloc needs a justification (why is this allocation cold?)")
 		}
 		return
 	}
-	w.pass.Reportf(n.Pos(), "%s in //cr:hotpath function %s (annotate //cr:alloc to justify a cold path)",
+	w.pass.ReportfEscape(n.Pos(), "alloc", "%s in //cr:hotpath function %s (annotate //cr:alloc to justify a cold path)",
 		fmt.Sprintf(format, args...), w.fn.Name.Name)
 }
 

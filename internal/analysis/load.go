@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package, ready to be
@@ -29,6 +30,18 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	annOnce sync.Once
+	ann     *annIndex
+}
+
+// annotations returns the package's //cr: annotation index, built once
+// and shared by every analyzer pass over the package (Run used to
+// rebuild it per analyzer, which was pure rework: the index depends
+// only on the parsed files).
+func (p *Package) annotations() *annIndex {
+	p.annOnce.Do(func() { p.ann = buildAnnIndex(p.Fset, p.Files) })
+	return p.ann
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -54,7 +67,45 @@ type listPkg struct {
 // Test files are not loaded: every crlint invariant exempts test code,
 // so analyzing package sources alone keeps the loader simple and makes
 // `crlint ./...` time proportional to the simulator, not its tests.
+//
+// Loads are memoized per process on (dir, patterns): the go list
+// subprocess plus parsing and type-checking dominate a lint run, and
+// every analyzer sees the same immutable packages, so a driver (or a
+// test binary exercising several analyzers over the same fixtures) pays
+// for the load exactly once. Sources changing under a live process are
+// not a supported use; crlint is a run-to-completion tool.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	key := abs + "\x00" + strings.Join(patterns, "\x00")
+	loadCache.Lock()
+	if pkgs, ok := loadCache.memo[key]; ok {
+		loadCache.Unlock()
+		return pkgs, nil
+	}
+	loadCache.Unlock()
+	pkgs, err := load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	loadCache.Lock()
+	if loadCache.memo == nil {
+		loadCache.memo = make(map[string][]*Package)
+	}
+	loadCache.memo[key] = pkgs
+	loadCache.Unlock()
+	return pkgs, nil
+}
+
+// loadCache memoizes Load results for the life of the process.
+var loadCache struct {
+	sync.Mutex
+	memo map[string][]*Package
+}
+
+func load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -166,6 +217,9 @@ type Finding struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+	// Escape is the //cr: annotation name that would justify the
+	// finding, when one applies (see Diagnostic.Escape).
+	Escape string
 }
 
 func (f Finding) String() string {
@@ -184,13 +238,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
-				ann:       buildAnnIndex(pkg.Fset, pkg.Files),
+				ann:       pkg.annotations(),
 			}
 			pass.Report = func(d Diagnostic) {
 				out = append(out, Finding{
 					Analyzer: a.Name,
 					Position: pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
+					Escape:   d.Escape,
 				})
 			}
 			if err := a.Run(pass); err != nil {

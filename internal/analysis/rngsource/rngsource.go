@@ -53,7 +53,7 @@ func run(pass *analysis.Pass) error {
 			if ann, ok := pass.Annotated(imp, "randsource"); ok && ann.Reason != "" {
 				continue
 			}
-			pass.Reportf(imp.Pos(),
+			pass.ReportfEscape(imp.Pos(), "randsource",
 				"%s imported in simulation-core package %s; use crnet/internal/rng (stream is pinned across Go releases and seeded per point)",
 				path, pass.CorePath())
 		}
@@ -84,11 +84,11 @@ func run(pass *analysis.Pass) error {
 			}
 			if ann, ok := pass.Annotated(call, "randsource"); ok {
 				if ann.Reason == "" {
-					pass.Reportf(call.Pos(), "//cr:randsource needs a justification (why may this stream bypass seed derivation?)")
+					pass.ReportfEscape(call.Pos(), "randsource", "//cr:randsource needs a justification (why may this stream bypass seed derivation?)")
 				}
 				return true
 			}
-			pass.Reportf(seed.Pos(),
+			pass.ReportfEscape(seed.Pos(), "randsource",
 				"rng.%s with constant seed %s in simulation-core package %s; derive seeds from configuration (e.g. harness.PointSeed) or annotate //cr:randsource with a justification",
 				fn.Name(), types.ExprString(seed), pass.CorePath())
 			return true

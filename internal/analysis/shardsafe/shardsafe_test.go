@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"crnet/internal/analysis/analysistest"
+	"crnet/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, shardsafe.Analyzer, "network", "router")
+}

@@ -1,0 +1,14 @@
+// Package router is a shardsafe fixture for the gate: shard isolation
+// is a property of the network package's kernel, so shard*-named
+// methods elsewhere in the core are not roots and nothing is flagged.
+package router
+
+type Table struct {
+	rows []int
+	hits int
+}
+
+func (t *Table) shardScan(i int) {
+	t.hits++
+	t.rows = append(t.rows, i)
+}

@@ -1,0 +1,252 @@
+// Package snapfields implements the crlint analyzer that proves
+// snapshot coverage statically: every field of a checkpointable struct
+// must be referenced by both halves of its codec, or carry an explicit
+// justification for being excluded.
+//
+// The repo's resume guarantee (DESIGN.md §9, `make snapshot-pin`) is
+// that a run restored from a checkpoint is byte-identical to an
+// unbroken one. That guarantee is only as strong as the codecs: a field
+// added to a state struct but forgotten in SaveState or LoadState
+// compiles cleanly and diverges silently, typically long after the
+// restore — exactly the bug class the obs ring `Count` misuse was (PR
+// 6), caught then only because a pin test happened to cover the
+// configuration. snapfields closes the gap at compile time.
+//
+// For every struct type in a simulation-core package that has a paired
+// codec — methods SaveState/LoadState, or Save/Load — the analyzer
+// enumerates the struct's fields via go/types and demands that each
+// field be referenced in *both* methods, either directly or inside a
+// same-package function or method the codec calls directly (helpers one
+// level deep; codecs that bury field access deeper should hoist it or
+// annotate). A field that is deliberately not serialized — derived
+// state rebuilt on restore, configuration owned by the constructor,
+// scratch buffers — carries `//cr:nosnap <reason>` on its declaration;
+// the reason is mandatory, an empty annotation is itself a finding.
+//
+// "Referenced" is deliberately weaker than "serialized": the analyzer
+// accepts any selection of the field inside the codec, so it cannot
+// tell a write from a validation read. It is a tripwire for forgotten
+// fields, not a proof of codec correctness — the snapshot pins remain
+// the dynamic half of the guarantee. Types with only half a codec pair
+// (e.g. a Save used for export with no Load) are out of scope.
+package snapfields
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"crnet/internal/analysis"
+)
+
+// Analyzer flags state-struct fields missing from their snapshot codec.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapfields",
+	Doc: "require every field of a struct with paired SaveState/LoadState (or " +
+		"Save/Load) methods in simulation-core packages to be referenced in both, " +
+		"directly or via a directly-called same-package helper; annotate " +
+		"//cr:nosnap to justify a field excluded from snapshots",
+	Run: run,
+}
+
+// codecPairs are the method-name pairs that make a struct
+// checkpointable. Both pairs are checked independently when a type
+// carries both.
+var codecPairs = [][2]string{
+	{"SaveState", "LoadState"},
+	{"Save", "Load"},
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsCore() {
+		return nil
+	}
+
+	// Index the package's function declarations (for depth-1 helper
+	// resolution) and its struct type declarations.
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	structAST := map[*types.Named]*ast.StructType{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if fo, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+					declOf[fo] = d
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					if named, ok := tn.Type().(*types.Named); ok {
+						structAST[named] = st
+					}
+				}
+			}
+		}
+	}
+
+	// Group methods by receiver type.
+	methods := map[*types.Named]map[string]*ast.FuncDecl{}
+	for fo, d := range declOf {
+		recv := fo.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		named := namedOf(recv.Type())
+		if named == nil {
+			continue
+		}
+		if methods[named] == nil {
+			methods[named] = map[string]*ast.FuncDecl{}
+		}
+		methods[named][fo.Name()] = d
+	}
+
+	for named, ms := range methods {
+		st, ok := structAST[named]
+		if !ok {
+			continue
+		}
+		fields, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for _, pair := range codecPairs {
+			save, okS := ms[pair[0]]
+			load, okL := ms[pair[1]]
+			if !okS || !okL {
+				continue
+			}
+			saved := referencedFields(pass, named, save, declOf)
+			loaded := referencedFields(pass, named, load, declOf)
+			checkFields(pass, named, st, fields, pair, saved, loaded)
+		}
+	}
+	return nil
+}
+
+// checkFields walks the struct's declared fields in source order and
+// reports each one missing from either codec half without a justified
+// //cr:nosnap escape.
+func checkFields(pass *analysis.Pass, named *types.Named, st *ast.StructType,
+	fields *types.Struct, pair [2]string, saved, loaded map[int]bool) {
+	idx := 0
+	for _, fld := range st.Fields.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for j := 0; j < n; j++ {
+			if idx >= fields.NumFields() {
+				return // blank or otherwise unmapped declarations; be safe
+			}
+			fv := fields.Field(idx)
+			idx++
+			var missing []string
+			if !saved[idx-1] {
+				missing = append(missing, pair[0])
+			}
+			if !loaded[idx-1] {
+				missing = append(missing, pair[1])
+			}
+			if len(missing) == 0 {
+				continue
+			}
+			if ann, ok := pass.Annotated(fld, "nosnap"); ok {
+				if ann.Reason == "" {
+					pass.ReportfEscape(fld.Pos(), "nosnap",
+						"//cr:nosnap needs a justification (why is %s.%s excluded from snapshots?)",
+						named.Obj().Name(), fv.Name())
+				}
+				continue
+			}
+			pass.ReportfEscape(fld.Pos(), "nosnap",
+				"field %s.%s is not referenced in %s (directly or via a directly-called helper); "+
+					"a snapshot will silently drop it — serialize it in both %s and %s, or annotate //cr:nosnap with a justification",
+				named.Obj().Name(), fv.Name(), strings.Join(missing, " or "),
+				pair[0], pair[1])
+		}
+	}
+}
+
+// referencedFields returns the set of top-level field indices of owner
+// that fn's body selects, directly or inside a same-package function or
+// method fn calls directly (one level of helpers). Promoted selections
+// through an embedded field credit the embedded field itself: the codec
+// demonstrably reaches into that subtree.
+func referencedFields(pass *analysis.Pass, owner *types.Named,
+	fn *ast.FuncDecl, declOf map[*types.Func]*ast.FuncDecl) map[int]bool {
+	out := map[int]bool{}
+	seen := map[*ast.FuncDecl]bool{}
+	var scan func(d *ast.FuncDecl, depth int)
+	scan = func(d *ast.FuncDecl, depth int) {
+		if d == nil || d.Body == nil || seen[d] {
+			return
+		}
+		seen[d] = true
+		ast.Inspect(d.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if namedOf(sel.Recv()) == owner && len(sel.Index()) > 0 {
+					out[sel.Index()[0]] = true
+				}
+			case *ast.CallExpr:
+				if depth > 0 {
+					return true
+				}
+				if callee := calleeDecl(pass, n, declOf); callee != nil {
+					scan(callee, depth+1)
+				}
+			}
+			return true
+		})
+	}
+	scan(fn, 0)
+	return out
+}
+
+// calleeDecl resolves a call to a same-package function or method
+// declaration, or nil for builtins, externals and indirect calls.
+func calleeDecl(pass *analysis.Pass, call *ast.CallExpr,
+	declOf map[*types.Func]*ast.FuncDecl) *ast.FuncDecl {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fo, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fo.Pkg() != pass.Pkg {
+		return nil
+	}
+	return declOf[fo]
+}
+
+// namedOf unwraps pointers to the defined type underneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,12 @@
+package snapfields_test
+
+import (
+	"testing"
+
+	"crnet/internal/analysis/analysistest"
+	"crnet/internal/analysis/snapfields"
+)
+
+func TestSnapfields(t *testing.T) {
+	analysistest.Run(t, snapfields.Analyzer, "core", "harness")
+}

@@ -32,3 +32,20 @@ func Unjustified() time.Time {
 	//cr:wallclock
 	return time.Now() // want `needs a justification`
 }
+
+// ChannelWaits couples the core to the host clock through timer
+// channels, which is Sleep by another name.
+func ChannelWaits() {
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+	<-time.Tick(time.Millisecond)  // want `time\.Tick reads the wall clock`
+}
+
+// Timers arm host-clock callbacks; construction and re-arming both
+// sample the clock.
+func Timers(d time.Duration) {
+	tk := time.NewTicker(d) // want `time\.NewTicker reads the wall clock`
+	tk.Reset(d)             // want `\(\*time\.Ticker\)\.Reset reads the wall clock`
+	tm := time.NewTimer(d)  // want `time\.NewTimer reads the wall clock`
+	tm.Reset(d)             // want `\(\*time\.Timer\)\.Reset reads the wall clock`
+	tm.Stop()
+}

@@ -14,6 +14,7 @@
 package wallclock
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 
@@ -28,14 +29,17 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// forbidden are the package-level time functions that read or wait on
-// the wall clock. Types (time.Duration) and pure conversions remain
-// allowed: configuration may be expressed in durations as long as the
-// core never samples the clock.
+// forbidden are the time-package functions and methods that read, wait
+// on or arm the wall clock. Types (time.Duration) and pure conversions
+// remain allowed: configuration may be expressed in durations as long
+// as the core never samples the clock. Reset covers the methods
+// (*time.Timer).Reset and (*time.Ticker).Reset — re-arming a timer is a
+// clock read by another name, and used to slip through when only
+// package-level functions were matched.
 var forbidden = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
 	"After": true, "AfterFunc": true, "Tick": true,
-	"NewTimer": true, "NewTicker": true,
+	"NewTimer": true, "NewTicker": true, "Reset": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -55,20 +59,32 @@ func run(pass *analysis.Pass) error {
 			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
 				return true
 			}
-			if _, isFn := obj.(*types.Func); !isFn || !forbidden[obj.Name()] {
+			fn, isFn := obj.(*types.Func)
+			if !isFn || !forbidden[obj.Name()] {
 				return true
 			}
 			if ann, ok := pass.Annotated(sel, "wallclock"); ok {
 				if ann.Reason == "" {
-					pass.Reportf(sel.Pos(), "//cr:wallclock needs a justification (why can this clock read not influence simulation state?)")
+					pass.ReportfEscape(sel.Pos(), "wallclock", "//cr:wallclock needs a justification (why can this clock read not influence simulation state?)")
 				}
 				return true
 			}
-			pass.Reportf(sel.Pos(),
-				"time.%s reads the wall clock in simulation-core package %s; the core is cycle-timed — move timing to harness/cmd or annotate //cr:wallclock with a justification",
-				obj.Name(), pass.CorePath())
+			pass.ReportfEscape(sel.Pos(), "wallclock",
+				"%s reads the wall clock in simulation-core package %s; the core is cycle-timed — move timing to harness/cmd or annotate //cr:wallclock with a justification",
+				qualifiedName(fn), pass.CorePath())
 			return true
 		})
 	}
 	return nil
+}
+
+// qualifiedName renders a time-package function or method for a
+// diagnostic: "time.Now" for package-level functions,
+// "(*time.Timer).Reset" for methods, so the reader sees exactly which
+// clock surface was touched.
+func qualifiedName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), nil), fn.Name())
+	}
+	return "time." + fn.Name()
 }

@@ -96,10 +96,10 @@ const maxFailureRecords = 1024
 // this ordering for bandwidth (a later message may overtake a congested
 // earlier one through the second ejection channel).
 type Injector struct {
-	cfg   Config
-	topo  topology.Topology
-	node  topology.NodeID
-	ports []Port
+	cfg   Config            //cr:nosnap construction parameters
+	topo  topology.Topology //cr:nosnap immutable, supplied by the constructor
+	node  topology.NodeID   //cr:nosnap node identity, fixed at construction
+	ports []Port            //cr:nosnap port adapters, rewired by the owner after restore
 	chs   []chState
 	// queue[qhead:] holds the pending messages; the consumed prefix is
 	// compacted away periodically so steady-state popping neither shifts
@@ -107,7 +107,7 @@ type Injector struct {
 	queue      []flit.Message
 	qhead      int
 	jitter     *rng.Source
-	jitterSeed uint64
+	jitterSeed uint64 //cr:nosnap construction-time seed; the live jitter rng state is what snapshots carry
 	stats      InjStats
 
 	failures []Failure

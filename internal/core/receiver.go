@@ -63,18 +63,18 @@ type assembly struct {
 // ejection channels, strips padding, verifies checksums under FCR and
 // delivers completed messages.
 type Receiver struct {
-	cfg    Config
-	node   topology.NodeID
-	fkill  FKiller
-	checks bool // end-to-end payload pattern checking
+	cfg    Config          //cr:nosnap construction parameters
+	node   topology.NodeID //cr:nosnap node identity, fixed at construction
+	fkill  FKiller         //cr:nosnap port adapter, rewired by the owner after restore
+	checks bool            //cr:nosnap derived from cfg at construction (end-to-end payload pattern checking)
 
 	asm map[flit.WormID]*assembly
 	// deliveries accumulates the cycle's completions; drained holds the
 	// slice handed out by the previous Drain, reused as the next
 	// accumulation buffer (double buffering — no allocation per cycle).
-	deliveries []Delivery
-	drained    []Delivery
-	pool       []*assembly                        // recycled assembly records
+	deliveries []Delivery                         //cr:nosnap cycle-transient completions, cleared by LoadState; checkpoints sit at drain boundaries
+	drained    []Delivery                         //cr:nosnap spare drain buffer, re-grown on demand
+	pool       []*assembly                        //cr:nosnap recycled assembly records, empty-rebuilt on demand
 	lastSeen   map[topology.NodeID]flit.MessageID // per-source FIFO watermark
 	stats      RecvStats
 }

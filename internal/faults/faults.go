@@ -65,7 +65,7 @@ func corruptFlit(r *rng.Source, f *flit.Flit) {
 type Transient struct {
 	// Rate is the probability that a flit is corrupted on one link
 	// traversal.
-	Rate float64
+	Rate float64 //cr:nosnap configuration, set by the owner at construction
 	rng  *rng.Source
 
 	injected int64

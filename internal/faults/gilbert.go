@@ -67,7 +67,7 @@ func EqualRateBurst(rate, meanGood, meanBad float64) BurstSpec {
 // GilbertElliott is the bursty corruption process described by a
 // BurstSpec. Construct with NewGilbertElliott; it implements Corrupter.
 type GilbertElliott struct {
-	spec BurstSpec
+	spec BurstSpec //cr:nosnap configuration, fixed at construction
 	bad  bool
 	rng  *rng.Source
 

@@ -62,9 +62,9 @@ func (s HazardSpec) evalEvery() int64 {
 // entity set (links first, then nodes). Construct with NewHazard; drive
 // with Evaluate once per cycle (it no-ops off the evaluation grid).
 type Hazard struct {
-	spec  HazardSpec
-	links []LinkID
-	nodes []int
+	spec  HazardSpec //cr:nosnap configuration, fixed at construction
+	links []LinkID   //cr:nosnap entity order, supplied by the constructor and revalidated on restore
+	nodes []int      //cr:nosnap entity order, supplied by the constructor and revalidated on restore
 
 	// streams holds one independent thinning stream per entity, links
 	// first. downUntil[i] != 0 schedules entity i's repair cycle.
@@ -77,7 +77,7 @@ type Hazard struct {
 	lastEval int64
 	failures int64
 	repairs  int64
-	evBuf    []Event
+	evBuf    []Event //cr:nosnap per-evaluation scratch handed out by Evaluate
 }
 
 // NewHazard builds the process over the given entities. The link and

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"crnet/internal/snapshot"
@@ -174,5 +175,73 @@ func TestHazardLoadStateRejectsMismatch(t *testing.T) {
 	other := NewHazard(spec, []LinkID{{Node: 0, Port: 0}}, nil)
 	if err := other.LoadState(snapshot.NewDecoder(e.Bytes())); err == nil {
 		t.Fatalf("entity-count mismatch accepted")
+	}
+}
+
+// TestHazardLoadStateRejectsCorruptSnapshots is the regression table
+// for the hazard codec's validation: a snapshot taken over a different
+// entity set, an entity count past the decoder's bound, a dead rng
+// stream, and damaged payloads must all be refused before any stream is
+// reseeded.
+func TestHazardLoadStateRejectsCorruptSnapshots(t *testing.T) {
+	spec := HazardSpec{LinkLambda0: 2e-4, NodeLambda0: 1e-4, Alpha: 4, LinkMTTR: 100, NodeMTTR: 100, EvalEvery: 32, Seed: 7}
+	build := func() *Hazard {
+		h := testHazard(spec) // 4 links + 2 nodes = 6 streams
+		driveHazard(h, 1000, 3, 0.5)
+		return h
+	}
+	save := func(h *Hazard) []byte {
+		var e snapshot.Encoder
+		h.SaveState(&e)
+		return e.Bytes()
+	}
+	// Sanity: an unmodified snapshot restores cleanly.
+	if err := testHazard(spec).LoadState(snapshot.NewDecoder(save(build()))); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name, wantSub string
+		build         func(t *testing.T) []byte
+	}{
+		{"entity-count-mismatch", "entities", func(t *testing.T) []byte {
+			// Two links and one node: 3 streams against the target's 6.
+			small := NewHazard(spec, []LinkID{{Node: 0, Port: 0}, {Node: 0, Port: 1}}, []int{0})
+			return save(small)
+		}},
+		{"count-over-bound", "collection length", func(t *testing.T) []byte {
+			var e snapshot.Encoder
+			e.Varint(0)
+			e.Varint(0)
+			e.Varint(0)
+			e.Uvarint(1 << 21) // entity count far past the process's 6
+			return e.Bytes()
+		}},
+		{"all-zero-stream", "all-zero stream state", func(t *testing.T) []byte {
+			var e snapshot.Encoder
+			e.Varint(0)
+			e.Varint(0)
+			e.Varint(0)
+			e.Uvarint(6)
+			for i := 0; i < 4; i++ {
+				e.U64(0) // a dead xoshiro state would emit zeros forever
+			}
+			e.Varint(0)
+			return e.Bytes()
+		}},
+		{"truncated", "truncated", func(t *testing.T) []byte {
+			raw := save(build())
+			return raw[:len(raw)-1]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := testHazard(spec).LoadState(snapshot.NewDecoder(tc.build(t)))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }

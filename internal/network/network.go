@@ -252,7 +252,9 @@ type fkillReq struct {
 // the network manages its own internal workers; the external contract
 // is unchanged).
 type Network struct {
-	cfg   Config
+	cfg Config
+	//cr:nosnap immutable, rebuilt from Config by the constructor; the snapshot carries the config fingerprint instead
+	//cr:sharded immutable after construction, so concurrent reads are race-free
 	topo  topology.Topology
 	nodes int
 	deg   int
@@ -267,8 +269,8 @@ type Network struct {
 	routers   []*router.Router
 	injectors []*core.Injector
 	receivers []*core.Receiver
-	rcfg      router.Config
-	ccfg      core.Config
+	rcfg      router.Config //cr:nosnap construction parameters precomputed from Config
+	ccfg      core.Config   //cr:nosnap construction parameters precomputed from Config
 
 	// links is the flat [node*degree+port] link array (uniform degree),
 	// replacing a per-node slice-of-slices: one allocation, no header
@@ -276,9 +278,9 @@ type Network struct {
 	links []link
 
 	cycle     int64
-	sigNow    []scheduledSignal // signals being processed this cycle
+	sigNow    []scheduledSignal //cr:nosnap mid-cycle scratch; snapshots are taken at cycle boundaries where it is empty
 	corrupter faults.Corrupter
-	wormBuf   []router.WormAt
+	wormBuf   []router.WormAt //cr:nosnap per-call scratch for worm sweeps
 
 	// sink holds the cross-node side-effect queues of the serial
 	// execution context: scheduled signals, deferred credits, FKILL
@@ -293,35 +295,37 @@ type Network struct {
 	// drained holds the slice handed out by the previous
 	// DrainDeliveries and is reused as the next accumulation buffer
 	// (double buffering, no allocation).
-	drained []core.Delivery
+	drained []core.Delivery //cr:nosnap spare drain buffer; pending deliveries ride the sink, the spare is re-grown on demand
 
 	// Activity worklists (see step.go for the maintenance protocol).
-	linkScratch []linkRef // last cycle's busy-link worklist, being consumed
+	linkScratch []linkRef //cr:nosnap consumed worklist; LoadState rebuilds it from the restored busy links
 	activeR     nodeSet   // routers with buffered flits
 	activeI     nodeSet   // injectors with queued or in-flight work
-	recvMark    []bool    // recvPend dedup bitmap
+	recvMark    []bool    //cr:nosnap dedup bitmap, clear between cycles; LoadState re-allocates it
 
 	// bruteForce disables the worklists and restores scan-everything
 	// phases; the soak test cross-checks the two cycle by cycle.
 	// It also forces the serial kernel regardless of Config.Shards.
-	bruteForce bool
+	bruteForce bool //cr:nosnap test-only cross-check toggle, not simulation state
 
 	// Sharded stepping (nil unless Config.Shards > 1): the shard
 	// descriptors, the node→shard index, and the fork/join group.
 	shards    []shard
-	nodeShard []int32
-	wg        sync.WaitGroup
+	nodeShard []int32 //cr:nosnap derived node-to-shard index, rebuilt from Config by initShards
+	//cr:nosnap synchronization primitive; serializing it is meaningless
+	//cr:sharded the fork/join group is the shard synchronization protocol itself
+	wg sync.WaitGroup
 
 	// Load-coupled failure process (nil unless cfg.Hazard is set).
 	// hazardLinks fixes the entity order; hazardFlits/hazardLoad are
 	// scratch vectors refilled from the live counters on evaluation
 	// cycles only, so off-grid cycles pay one Due check.
 	hazard      *faults.Hazard
-	hazardLinks []faults.LinkID
-	hazardFlits []int64
-	hazardLoad  []float64
+	hazardLinks []faults.LinkID //cr:nosnap fixed entity order, rebuilt from the topology on restore
+	hazardFlits []int64         //cr:nosnap scratch refilled from live counters on evaluation cycles
+	hazardLoad  []float64       //cr:nosnap scratch refilled from live counters on evaluation cycles
 
-	tracer Tracer
+	tracer Tracer //cr:nosnap observer callback; the harness reattaches it after restore
 	hooks  Hooks
 	health error
 
@@ -421,7 +425,7 @@ func (n *Network) routerAt(id topology.NodeID) *router.Router {
 				r.SetLinkDown(p)
 			}
 		}
-		n.routers[id] = r
+		n.routers[id] = r //cr:sharded one-time deterministic store; a node is first-touched only by its owning shard
 	}
 	return r
 }
@@ -436,7 +440,7 @@ func (n *Network) injectorAt(id topology.NodeID) *core.Injector {
 			ports[ch] = injPort{net: n, node: id, ch: ch}
 		}
 		in = core.NewInjector(n.ccfg, n.topo, id, ports, n.cfg.Seed)
-		n.injectors[id] = in
+		n.injectors[id] = in //cr:sharded one-time deterministic store; a node is first-touched only by its owning shard
 	}
 	return in
 }
@@ -447,7 +451,7 @@ func (n *Network) receiverAt(id topology.NodeID) *core.Receiver {
 	if rc == nil {
 		//cr:alloc lazy one-time construction on a node's first ejection
 		rc = core.NewReceiver(n.ccfg, id, fkillPort{net: n, node: id})
-		n.receivers[id] = rc
+		n.receivers[id] = rc //cr:sharded one-time deterministic store; a node is first-touched only by its owning shard
 	}
 	return rc
 }

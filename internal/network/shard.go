@@ -439,7 +439,7 @@ func (n *Network) shardCredits(sh *shard, me int32) {
 		n.shards[si].outCredits[me] = cell[:0]
 	}
 	for _, id := range sk.recvPend {
-		n.recvMark[id] = false
+		n.recvMark[id] = false //cr:sharded recvMark[id] belongs to the shard that owns node id
 		n.drainReceiver(sk, int(id), n.receivers[id])
 	}
 	sk.recvPend = sk.recvPend[:0]

@@ -60,7 +60,7 @@ func (n *Network) activateInjector(id topology.NodeID) {
 		return
 	}
 	if !n.bruteForce {
-		n.activeI.add(int32(id))
+		n.activeI.add(int32(id)) //cr:sharded serial-kernel arm; sharded mode took the shards[...] branch above
 	}
 }
 
@@ -446,7 +446,7 @@ func (n *Network) transmitRouter(sk *sink, id int) bool {
 				n.traceTo(sk, EvEject, node, outPort-deg, 0, f.Worm, f.Seq)
 				sk.flitsEjected++
 				if !n.recvMark[id] {
-					n.recvMark[id] = true
+					n.recvMark[id] = true //cr:sharded recvMark[id] belongs to the shard that owns node id
 					sk.recvPend = append(sk.recvPend, int32(id))
 				}
 				n.receiverAt(node).Accept(outPort-deg, f, n.cycle)

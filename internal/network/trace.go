@@ -111,5 +111,5 @@ func (n *Network) traceTo(sk *sink, kind EventKind, node topology.NodeID, port, 
 		sk.events = append(sk.events, ev)
 		return
 	}
-	n.tracer(ev)
+	n.tracer(ev) //cr:sharded shard sinks are always deferred; this call runs only on the serial path
 }

@@ -57,7 +57,7 @@ type Registry struct {
 	// names is a duplicate-registration guard only: it is looked up and
 	// written, never ranged (crlint detmap audit), so all iteration order
 	// comes from the probes slice and the schema stays deterministic.
-	names map[string]bool
+	names map[string]bool //cr:nosnap duplicate-registration guard, rebuilt as probes re-register after restore
 }
 
 // NewRegistry returns an empty registry.

@@ -12,7 +12,7 @@ type Sample struct {
 // buffer, so a long run keeps the most recent window of samples at a
 // fixed memory cost. Drive it with Tick once per cycle.
 type Sampler struct {
-	reg   *Registry
+	reg   *Registry //cr:nosnap wiring to the live registry, re-established by the owner after restore
 	every int64
 	ring  []Sample
 	next  int  // ring slot for the next sample

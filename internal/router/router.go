@@ -263,11 +263,11 @@ func (s *Stats) Add(o Stats) {
 // phase methods. Routers are not safe for concurrent use — the network's
 // cycle loop is single-threaded by design (determinism).
 type Router struct {
-	id   topology.NodeID
-	topo topology.Topology
-	alg  routing.Algorithm
-	cfg  Config
-	deg  int
+	id   topology.NodeID   //cr:nosnap node identity, fixed at construction
+	topo topology.Topology //cr:nosnap immutable, supplied by the constructor
+	alg  routing.Algorithm //cr:nosnap stateless strategy object, supplied by the constructor
+	cfg  Config            //cr:nosnap construction parameters
+	deg  int               //cr:nosnap derived from the topology at construction
 
 	// ins holds every input VC flat: network ports' VCs first
 	// (port-major: port p's VCs occupy ins[p*VCs : (p+1)*VCs]), then one
@@ -281,17 +281,17 @@ type Router struct {
 	// organizations (nil until SetAdvertiser; static FIFO never calls
 	// it). activeFn/emitFn are the pre-bound closures handed to
 	// bufStore.release so the hot path passes no new allocations.
-	advert   CreditAdvert
-	activeFn func(j int) bool
-	emitFn   func(j, delta int)
+	advert   CreditAdvert       //cr:nosnap callback, reattached by the owner after restore
+	activeFn func(j int) bool   //cr:nosnap pre-bound closure, rebuilt at construction
+	emitFn   func(j, delta int) //cr:nosnap pre-bound closure, rebuilt at construction
 
 	outs     []output // per output port; vcs window into outArena
-	outArena []outVC
+	outArena []outVC  //cr:nosnap backing arena; its state is serialized through the outs windows
 
 	// buffered is the total flit count across all input VCs, maintained
 	// incrementally; Busy() == (buffered > 0) is the activity signal the
 	// network's scheduler keys on.
-	buffered int
+	buffered int //cr:nosnap derived total, recomputed by LoadState from the restored input VCs
 
 	allocRR int // rotation for adaptive candidate selection
 	stats   Stats
@@ -301,9 +301,9 @@ type Router struct {
 	maxHops     int
 	maxHopsWorm flit.WormID
 
-	candBuf []routing.Candidate
-	portBuf []topology.Port // scratch handed to routing via Request.PortBuf
-	linkUp  func(topology.Port) bool
+	candBuf []routing.Candidate      //cr:nosnap per-call scratch
+	portBuf []topology.Port          //cr:nosnap per-call scratch handed to routing via Request.PortBuf
+	linkUp  func(topology.Port) bool //cr:nosnap callback, reattached by the owner after restore
 }
 
 // New constructs a router for node id of topo using the routing

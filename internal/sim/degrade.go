@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"crnet/internal/core"
 	snap "crnet/internal/snapshot"
 	"crnet/internal/stats"
@@ -101,7 +103,7 @@ func (c DegradeConfig) sheddingPermille() int64 {
 // Degrader is the stateful controller. Drive it with Admit per offered
 // message, Observe per delivery, and EndCycle once per cycle.
 type Degrader struct {
-	cfg   DegradeConfig
+	cfg   DegradeConfig //cr:nosnap configuration, fixed at construction
 	state DegradeState
 	gate  core.Throttle
 
@@ -258,6 +260,9 @@ func (d *Degrader) SaveState(e *snap.Encoder) {
 // from the same DegradeConfig.
 func (d *Degrader) LoadState(dec *snap.Decoder) error {
 	state := DegradeState(dec.U8())
+	if state > DegradeShedding {
+		return fmt.Errorf("sim: snapshot degrade state %d out of range", state)
+	}
 	if err := d.gate.LoadState(dec); err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"crnet/internal/core"
@@ -324,5 +325,70 @@ func TestDegradeControllerRecovers(t *testing.T) {
 	}
 	if st.Delivered == 0 {
 		t.Fatal("nothing delivered; test is vacuous")
+	}
+}
+
+// TestDegraderLoadStateRejectsCorruptSnapshots is the regression table
+// for the controller codec's validation: an out-of-range state byte, a
+// gate section violating the throttle invariants, a window histogram
+// saved under a different SLO, and damaged payloads must all be refused
+// before the controller is mutated.
+func TestDegraderLoadStateRejectsCorruptSnapshots(t *testing.T) {
+	save := func(d *Degrader) []byte {
+		var e snap.Encoder
+		d.SaveState(&e)
+		return e.Bytes()
+	}
+	build := func() *Degrader {
+		d := NewDegrader(degCfg())
+		breachWindow(d, 100)
+		for i := 0; i < 137; i++ {
+			d.Admit()
+		}
+		return d
+	}
+	// Sanity: an unmodified snapshot restores cleanly.
+	if err := NewDegrader(degCfg()).LoadState(snap.NewDecoder(save(build()))); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name, wantSub string
+		build         func(t *testing.T) []byte
+	}{
+		{"state-out-of-range", "degrade state", func(t *testing.T) []byte {
+			raw := save(build())
+			raw[0] = 9 // the state byte leads the payload; 9 is past shedding
+			return raw
+		}},
+		{"throttle-out-of-range", "throttle state", func(t *testing.T) []byte {
+			var e snap.Encoder
+			e.U8(uint8(DegradeHealthy))
+			e.Varint(5) // admit 5 of every 2: violates num <= den
+			e.Varint(2)
+			e.Varint(0)
+			return e.Bytes()
+		}},
+		{"window-histogram-shape", "histogram shape", func(t *testing.T) []byte {
+			// A 6400-cycle SLO widens the latency buckets, so the window
+			// histogram's shape no longer matches the target controller's.
+			cfg := degCfg()
+			cfg.LatencySLO = 6400
+			return save(NewDegrader(cfg))
+		}},
+		{"truncated", "truncated", func(t *testing.T) []byte {
+			raw := save(build())
+			return raw[:len(raw)-1]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := NewDegrader(degCfg()).LoadState(snap.NewDecoder(tc.build(t)))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }

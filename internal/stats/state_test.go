@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"crnet/internal/snapshot"
+)
+
+// TestHistogramLoadStateRejectsCorruptSnapshots is the regression table
+// for the histogram codec's shape validation: a snapshot taken from a
+// differently shaped histogram (bucket width or count) or a damaged
+// payload must be refused before any bucket is overwritten — merging
+// counts across shapes silently corrupts percentiles.
+func TestHistogramLoadStateRejectsCorruptSnapshots(t *testing.T) {
+	build := func(width int64, buckets int) *Histogram {
+		h := NewHistogram(width, buckets)
+		for v := int64(0); v < 100; v += 7 {
+			h.Add(v)
+		}
+		return h
+	}
+	save := func(h *Histogram) []byte {
+		var e snapshot.Encoder
+		h.SaveState(&e)
+		return e.Bytes()
+	}
+	// Sanity: an unmodified snapshot restores cleanly.
+	if err := build(4, 8).LoadState(snapshot.NewDecoder(save(build(4, 8)))); err != nil {
+		t.Fatalf("clean snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name, wantSub string
+		build         func(t *testing.T) []byte
+	}{
+		{"width-mismatch", "histogram shape", func(t *testing.T) []byte {
+			return save(build(8, 8))
+		}},
+		{"bucket-count-mismatch", "histogram shape", func(t *testing.T) []byte {
+			return save(build(4, 16))
+		}},
+		{"truncated", "truncated", func(t *testing.T) []byte {
+			raw := save(build(4, 8))
+			return raw[:len(raw)-1]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := build(4, 8).LoadState(snapshot.NewDecoder(tc.build(t)))
+			if err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestWelfordLoadStateRejectsTruncation checks the running-moment
+// codec's sticky-error handling: a payload cut inside the float section
+// is refused and the estimator keeps its pre-load state.
+func TestWelfordLoadStateRejectsTruncation(t *testing.T) {
+	var w Welford
+	for v := 1; v <= 32; v++ {
+		w.Add(float64(v))
+	}
+	var e snapshot.Encoder
+	w.SaveState(&e)
+	raw := e.Bytes()
+
+	var target Welford
+	target.Add(7)
+	before := target
+	if err := target.LoadState(snapshot.NewDecoder(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error %q does not mention truncation", err)
+	}
+	if target != before {
+		t.Fatal("failed load mutated the estimator")
+	}
+}
